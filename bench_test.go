@@ -1,0 +1,319 @@
+package coda_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates its experiment and reports the headline measured
+// values as custom metrics, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness. The three-scheduler comparison is memoized inside
+// internal/experiments, so benchmarks sharing it pay its cost once.
+
+import (
+	"testing"
+
+	"github.com/coda-repro/coda/internal/experiments"
+)
+
+// benchScale keeps the full suite tractable: one day at the paper's load
+// on the full 80-node cluster. cmd/coda-bench -scale full runs the
+// month-long operating point.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Seed: 1, Days: 1, CPUJobs: 2500, GPUJobs: 833, Nodes: 80}
+}
+
+func comparison(b *testing.B) *experiments.Comparison {
+	b.Helper()
+	c, err := experiments.RunComparison(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkFig1WeeklyUtilization(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.DiurnalRatio
+	}
+	b.ReportMetric(ratio, "diurnal_peak_over_trough")
+}
+
+func BenchmarkFig2JobCharacteristics(b *testing.B) {
+	var req12 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		req12 = res.Stats.ReqCores12
+	}
+	b.ReportMetric(req12*100, "pct_jobs_requesting_1to2_cores")
+}
+
+func BenchmarkFig3UtilVsCores(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(pts)
+	}
+	b.ReportMetric(float64(points), "curve_points")
+}
+
+func BenchmarkFig5OptimalCores(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(r)
+	}
+	b.ReportMetric(float64(rows), "table_cells")
+}
+
+func BenchmarkFig6BandwidthDemand(b *testing.B) {
+	var max float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		max = 0
+		for _, r := range rows {
+			if r.BandwidthGBs > max {
+				max = r.BandwidthGBs
+			}
+		}
+	}
+	b.ReportMetric(max, "max_demand_gbs")
+}
+
+func BenchmarkFig7ContentionSensitivity(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 1
+		for _, p := range pts {
+			if p.Pressure == "bw" && p.NormalizedPerf < worst {
+				worst = p.NormalizedPerf
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst_case_pct_of_solo_perf")
+}
+
+func BenchmarkFig10Utilization(b *testing.B) {
+	var fifoUtil, codaUtil, codaFrag float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig10(comparison(b))
+		for _, r := range rows {
+			switch r.Scheduler {
+			case "fifo":
+				fifoUtil = r.Util
+			case "coda":
+				codaUtil = r.Util
+				codaFrag = r.FragRate
+			}
+		}
+	}
+	b.ReportMetric(fifoUtil*100, "fifo_gpu_util_pct")
+	b.ReportMetric(codaUtil*100, "coda_gpu_util_pct")
+	b.ReportMetric(codaFrag*100, "coda_frag_pct")
+	b.ReportMetric((codaUtil-fifoUtil)*100, "util_improvement_pts")
+}
+
+func BenchmarkFig11QueueingCDF(b *testing.B) {
+	var codaImmediate, fifoOver10 float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig11(comparison(b))
+		for _, r := range rows {
+			switch r.Scheduler {
+			case "coda":
+				codaImmediate = r.GPUImmediate
+			case "fifo":
+				fifoOver10 = r.GPUOver10Min
+			}
+		}
+	}
+	b.ReportMetric(codaImmediate*100, "coda_pct_gpu_jobs_immediate")
+	b.ReportMetric(fifoOver10*100, "fifo_pct_gpu_jobs_over_10min")
+}
+
+func BenchmarkFig12PerUserP99(b *testing.B) {
+	var betterUsers int
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(comparison(b))
+		betterUsers = 0
+		for _, r := range rows {
+			if r.CODA <= r.FIFO {
+				betterUsers++
+			}
+		}
+	}
+	b.ReportMetric(float64(betterUsers), "users_with_coda_p99_le_fifo")
+}
+
+func BenchmarkFig13EndToEnd(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig13(comparison(b))
+		faster := 0
+		for _, r := range rows {
+			if r.CODAQueue+r.CODARun < r.FIFOQueue+r.FIFORun {
+				faster++
+			}
+		}
+		if len(rows) > 0 {
+			speedup = float64(faster) / float64(len(rows))
+		}
+	}
+	b.ReportMetric(speedup*100, "pct_representatives_faster_under_coda")
+}
+
+func BenchmarkFig14TuningHistogram(b *testing.B) {
+	var more, fewer float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(comparison(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		more, fewer = res.More1to5, res.Fewer1to20
+	}
+	b.ReportMetric(more*100, "pct_granted_1to5_more")
+	b.ReportMetric(fewer*100, "pct_granted_1to20_fewer")
+}
+
+func BenchmarkSec6EEliminatorAblation(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sec6E(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = res.UtilWithEliminator - res.UtilWithout
+	}
+	b.ReportMetric(drop*100, "util_pts_saved_by_eliminator")
+}
+
+func BenchmarkTable2TuningOverhead(b *testing.B) {
+	var maxSteps int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxSteps = 0
+		for _, r := range rows {
+			if r.ProfilingSteps > maxSteps {
+				maxSteps = r.ProfilingSteps
+			}
+		}
+	}
+	b.ReportMetric(float64(maxSteps), "max_profiling_steps")
+}
+
+func BenchmarkAblationAdaptiveAllocation(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationAdaptiveAllocation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = res.FullUtil - res.AblatedUtil
+	}
+	b.ReportMetric(delta*100, "util_pts_from_adaptive_allocation")
+}
+
+func BenchmarkAblationMultiArrayRebalance(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationRebalance(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = res.FullImmediate - res.AblatedImmediate
+	}
+	b.ReportMetric(delta*100, "immediate_pct_from_rebalance")
+}
+
+func BenchmarkSec6GGenerality(b *testing.B) {
+	var codaUtil, fifoUtil float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Generality(benchScale(), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Scheduler {
+			case "coda":
+				codaUtil = r.GPUUtil
+			case "fifo":
+				fifoUtil = r.GPUUtil
+			}
+		}
+	}
+	b.ReportMetric(codaUtil*100, "coda_gpu_util_pct_hetero")
+	b.ReportMetric(fifoUtil*100, "fifo_gpu_util_pct_hetero")
+}
+
+func BenchmarkAblationPreemption(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPreemption(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = res.FullImmediate - res.AblatedImmediate
+	}
+	b.ReportMetric(delta*100, "immediate_pct_from_preemption")
+}
+
+func BenchmarkAblationEliminatorThreshold(b *testing.B) {
+	var at75 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationEliminatorThreshold(benchScale(), []float64{0.6, 0.75, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Threshold == 0.75 {
+				at75 = p.GPUUtil
+			}
+		}
+	}
+	b.ReportMetric(at75*100, "gpu_util_pct_at_default_threshold")
+}
+
+func BenchmarkAblationNstartSeeding(b *testing.B) {
+	var res experiments.NstartAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationNstartSeeding(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SeededSteps, "seeded_profiling_steps")
+	b.ReportMetric(res.FixedSteps, "cold_profiling_steps")
+}
+
+func BenchmarkStaticPartitionBaseline(b *testing.B) {
+	var staticUtil, codaUtil float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.StaticBaseline(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		staticUtil, codaUtil = res.GPUUtil, res.CODAUtil
+	}
+	b.ReportMetric(staticUtil*100, "static_gpu_util_pct")
+	b.ReportMetric(codaUtil*100, "coda_gpu_util_pct")
+}

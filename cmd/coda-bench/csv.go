@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/coda-repro/coda/internal/experiments"
+	"github.com/coda-repro/coda/internal/sim"
+)
+
+// writeCSVs exports the plottable experiment data (figure series and
+// CDFs) into dir, one file per figure, for external plotting tools.
+func writeCSVs(dir string, sc experiments.Scale) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c, err := experiments.RunComparison(sc)
+	if err != nil {
+		return err
+	}
+
+	if err := writeFig3CSV(filepath.Join(dir, "fig3_util_vs_cores.csv")); err != nil {
+		return err
+	}
+	if err := writeFig1CSV(filepath.Join(dir, "fig1_weekly_trend.csv"), sc); err != nil {
+		return err
+	}
+	if err := writeCDFCSV(filepath.Join(dir, "fig11_gpu_queue_cdf.csv"), c, "gpu"); err != nil {
+		return err
+	}
+	if err := writeCDFCSV(filepath.Join(dir, "fig11_cpu_queue_cdf.csv"), c, "cpu"); err != nil {
+		return err
+	}
+	if err := writeFig12CSV(filepath.Join(dir, "fig12_per_user_p99.csv"), c); err != nil {
+		return err
+	}
+	if err := writeFig14CSV(filepath.Join(dir, "fig14_core_deltas.csv"), c); err != nil {
+		return err
+	}
+	fmt.Printf("wrote CSV exports to %s\n", dir)
+	return nil
+}
+
+func writeRows(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeFig3CSV(path string) error {
+	pts, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Model, p.Config, strconv.Itoa(p.Cores),
+			strconv.FormatFloat(p.GPUUtil, 'f', 4, 64),
+			strconv.FormatFloat(p.Speed, 'f', 4, 64),
+		})
+	}
+	return writeRows(path, []string{"model", "config", "cores", "gpu_util", "speed"}, rows)
+}
+
+func writeFig1CSV(path string, sc experiments.Scale) error {
+	res, err := experiments.Fig1(sc)
+	if err != nil {
+		return err
+	}
+	series := []*struct {
+		s interface {
+			Len() int
+			At(int) (time.Duration, float64)
+		}
+	}{{res.CPUActive}, {res.CPUUtil}, {res.GPUActive}, {res.GPUUtil}}
+	n := series[0].s.Len()
+	for _, sp := range series[1:] {
+		if sp.s.Len() < n {
+			n = sp.s.Len()
+		}
+	}
+	rows := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		tm, _ := series[0].s.At(i)
+		row := []string{strconv.Itoa(int(tm / time.Hour))}
+		for _, sp := range series {
+			_, v := sp.s.At(i)
+			row = append(row, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		rows = append(rows, row)
+	}
+	return writeRows(path, []string{"hour", "cpu_active", "cpu_util", "gpu_active", "gpu_util"}, rows)
+}
+
+func writeCDFCSV(path string, c *experiments.Comparison, class string) error {
+	var rows [][]string
+	schedulers := []struct {
+		name string
+		res  *sim.Result
+	}{{"fifo", c.FIFO}, {"drf", c.DRF}, {"coda", c.CODA}}
+	for _, s := range schedulers {
+		for _, p := range experiments.CDFPoints(s.res, class) {
+			rows = append(rows, []string{
+				s.name,
+				strconv.FormatFloat(p.Value.Seconds(), 'f', 1, 64),
+				strconv.FormatFloat(p.Fraction, 'f', 5, 64),
+			})
+		}
+	}
+	return writeRows(path, []string{"scheduler", "queue_seconds", "cdf"}, rows)
+}
+
+func writeFig12CSV(path string, c *experiments.Comparison) error {
+	var rows [][]string
+	for _, r := range experiments.Fig12(c) {
+		rows = append(rows, []string{
+			strconv.Itoa(r.User),
+			strconv.FormatFloat(r.FIFO.Seconds(), 'f', 1, 64),
+			strconv.FormatFloat(r.DRF.Seconds(), 'f', 1, 64),
+			strconv.FormatFloat(r.CODA.Seconds(), 'f', 1, 64),
+		})
+	}
+	return writeRows(path, []string{"user", "fifo_p99_s", "drf_p99_s", "coda_p99_s"}, rows)
+}
+
+func writeFig14CSV(path string, c *experiments.Comparison) error {
+	res, err := experiments.Fig14(c)
+	if err != nil {
+		return err
+	}
+	edges := []int{-20, -10, -5, -1, 0, 1, 2, 6, 11, 21}
+	var rows [][]string
+	for i := 0; i+1 < len(edges); i++ {
+		count, frac, err := res.Histogram.Bucket(i)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("[%d,%d)", edges[i], edges[i+1]),
+			strconv.Itoa(count),
+			strconv.FormatFloat(frac, 'f', 5, 64),
+		})
+	}
+	return writeRows(path, []string{"delta_bucket", "count", "fraction"}, rows)
+}

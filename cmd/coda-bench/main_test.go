@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFastSections(t *testing.T) {
+	// Sections that need no simulation run instantly at any scale.
+	for _, section := range []string{"table1", "fig3", "fig5", "fig6", "fig7"} {
+		if err := run([]string{"-only", section}); err != nil {
+			t.Errorf("%s: %v", section, err)
+		}
+	}
+}
+
+func TestRunSimulatedSections(t *testing.T) {
+	// The three-scheduler comparison is memoized inside the experiments
+	// package, so after fig10 pays its cost the rest are cheap.
+	sections := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "fig2", "sec6e", "sec6g", "table2"}
+	for _, section := range sections {
+		if err := run([]string{"-scale", "tiny", "-only", section}); err != nil {
+			t.Errorf("%s: %v", section, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scale", "tiny", "-only", "table1", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig3_util_vs_cores.csv",
+		"fig1_weekly_trend.csv",
+		"fig11_gpu_queue_cdf.csv",
+		"fig11_cpu_queue_cdf.csv",
+		"fig12_per_user_p99.csv",
+		"fig14_core_deltas.csv",
+	} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("%s: %v (size %d)", name, err, info.Size())
+		}
+	}
+}

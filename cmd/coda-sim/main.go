@@ -1,0 +1,190 @@
+// Command coda-sim replays a synthetic cluster trace under one scheduling
+// policy (fifo, drf, static or coda) and prints the headline metrics the paper
+// reports: GPU/CPU active and utilization rates, fragmentation, queueing
+// percentiles and completion counts.
+//
+// Usage:
+//
+//	coda-sim -sched coda -days 3 -cpu-jobs 7500 -gpu-jobs 2500 -nodes 80
+//	coda-sim -sched fifo -trace trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/coda-repro/coda/internal/core"
+	"github.com/coda-repro/coda/internal/experiments"
+	"github.com/coda-repro/coda/internal/history"
+	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/sched"
+	"github.com/coda-repro/coda/internal/sim"
+	"github.com/coda-repro/coda/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coda-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("coda-sim", flag.ContinueOnError)
+	schedName := fs.String("sched", "coda", "scheduling policy: fifo, drf, static or coda")
+	days := fs.Float64("days", 3, "trace duration in days")
+	cpuJobs := fs.Int("cpu-jobs", 7500, "CPU job count")
+	gpuJobs := fs.Int("gpu-jobs", 2500, "GPU (DNN training) job count")
+	nodes := fs.Int("nodes", 80, "cluster node count")
+	seed := fs.Int64("seed", 1, "random seed")
+	tracePath := fs.String("trace", "", "replay a JSON-lines trace file instead of generating one")
+	noEliminator := fs.Bool("no-eliminator", false, "disable CODA's contention eliminator (§VI-E ablation)")
+	series := fs.Bool("series", false, "also print the hourly utilization time series as CSV")
+	historyIn := fs.String("history-in", "", "warm-start CODA from a saved history log")
+	historyOut := fs.String("history-out", "", "save CODA's history log after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := experiments.Scale{Seed: *seed, Days: *days, CPUJobs: *cpuJobs, GPUJobs: *gpuJobs, Nodes: *nodes}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+
+	var jobs []*job.Job
+	var err error
+	if *tracePath != "" {
+		f, ferr := os.Open(*tracePath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		jobs, err = trace.Read(f)
+	} else {
+		cfg := trace.DefaultConfig()
+		cfg.Seed = sc.Seed
+		cfg.Duration = sc.Duration()
+		cfg.CPUJobs = sc.CPUJobs
+		cfg.GPUJobs = sc.GPUJobs
+		jobs, err = trace.Generate(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	opts := sim.DefaultOptions()
+	opts.Cluster.Nodes = sc.Nodes
+	opts.Seed = sc.Seed + 1000
+	opts.SampleInterval = 10 * time.Minute
+	opts.MaxVirtualTime = sc.Duration() + 4*24*time.Hour
+
+	var policy sched.Scheduler
+	var coda *core.Scheduler
+	switch *schedName {
+	case "fifo":
+		policy = sched.NewFIFO()
+	case "drf":
+		policy, err = sched.NewDRF(opts.Cluster.Nodes*opts.Cluster.CoresPerNode, opts.Cluster.Nodes*opts.Cluster.GPUsPerNode)
+	case "static":
+		policy = sched.NewStatic(opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
+	case "coda":
+		cfg := core.DefaultConfig()
+		cfg.DisableEliminator = *noEliminator
+		coda, err = core.New(cfg, opts.Cluster.Nodes, opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
+		policy = coda
+	default:
+		return fmt.Errorf("unknown scheduler %q (want fifo, drf, static or coda)", *schedName)
+	}
+	if err != nil {
+		return err
+	}
+	if *historyIn != "" {
+		if coda == nil {
+			return fmt.Errorf("-history-in only applies to the coda scheduler")
+		}
+		f, ferr := os.Open(*historyIn)
+		if ferr != nil {
+			return ferr
+		}
+		log, lerr := history.Load(f)
+		f.Close()
+		if lerr != nil {
+			return lerr
+		}
+		coda.SetHistory(log)
+	}
+
+	start := time.Now()
+	simulator, err := sim.New(opts, policy, jobs)
+	if err != nil {
+		return err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	printSummary(res, len(jobs), elapsed)
+	if *series {
+		printSeries(res)
+	}
+	if *historyOut != "" {
+		if coda == nil {
+			return fmt.Errorf("-history-out only applies to the coda scheduler")
+		}
+		f, ferr := os.Create(*historyOut)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if err := coda.History().Save(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printSummary(res *sim.Result, totalJobs int, elapsed time.Duration) {
+	sm := res.Summarize()
+	fmt.Printf("scheduler        %s\n", sm.Scheduler)
+	fmt.Printf("jobs             %d (%d gpu done, %d cpu done)\n", totalJobs, sm.GPUJobsDone, sm.CPUJobsDone)
+	fmt.Printf("virtual time     %v (wall %v)\n", res.EndTime.Truncate(time.Second), elapsed.Truncate(time.Millisecond))
+	fmt.Printf("gpu active rate  %.1f%%\n", sm.GPUActiveRate*100)
+	fmt.Printf("gpu utilization  %.1f%%\n", sm.GPUUtil*100)
+	fmt.Printf("cpu active rate  %.1f%%\n", sm.CPUActiveRate*100)
+	fmt.Printf("cpu utilization  %.1f%%\n", sm.CPUUtil*100)
+	fmt.Printf("fragmentation    %.2f%%\n", sm.FragRate*100)
+	fmt.Printf("preemptions      %d, throttles %d\n", res.Preemptions, res.Throttles)
+
+	fmt.Printf("gpu queue        p50 %v  p99 %v  >10min %.1f%%  >1h %.1f%%  =0 %.1f%%\n",
+		res.GPUQueue.Percentile(50).Truncate(time.Second),
+		res.GPUQueue.Percentile(99).Truncate(time.Second),
+		res.GPUQueue.FractionAbove(10*time.Minute)*100,
+		res.GPUQueue.FractionAbove(time.Hour)*100,
+		res.GPUQueue.FractionAtMost(0)*100)
+	fmt.Printf("cpu queue        p50 %v  p99 %v  <=10s %.1f%%  <=3min %.1f%%\n",
+		res.CPUQueue.Percentile(50).Truncate(time.Second),
+		res.CPUQueue.Percentile(99).Truncate(time.Second),
+		res.CPUQueue.FractionAtMost(10*time.Second)*100,
+		res.CPUQueue.FractionAtMost(3*time.Minute)*100)
+}
+
+func printSeries(res *sim.Result) {
+	hourly, err := res.GPUActive.Downsample(time.Hour)
+	if err != nil {
+		return
+	}
+	util, err := res.GPUUtilSeries.Downsample(time.Hour)
+	if err != nil {
+		return
+	}
+	fmt.Println("\nhour,gpu_active,gpu_util")
+	for i := 0; i < hourly.Len() && i < util.Len(); i++ {
+		tm, a := hourly.At(i)
+		_, u := util.At(i)
+		fmt.Printf("%d,%.4f,%.4f\n", int(tm/time.Hour), a, u)
+	}
+}

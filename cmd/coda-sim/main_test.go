@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/coda-repro/coda/internal/trace"
+)
+
+func tinyArgs(sched string) []string {
+	return []string{"-sched", sched, "-days", "0.05", "-cpu-jobs", "30", "-gpu-jobs", "10", "-nodes", "4"}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, s := range []string{"fifo", "drf", "coda"} {
+		if err := run(tinyArgs(s)); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestRunNoEliminatorAndSeries(t *testing.T) {
+	args := append(tinyArgs("coda"), "-no-eliminator", "-series")
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	cfg := trace.DefaultConfig()
+	cfg.CPUJobs, cfg.GPUJobs = 20, 8
+	cfg.Duration = cfg.Duration / 100
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sched", "coda", "-trace", path, "-nodes", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-sched", "quantum"}); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+	if err := run([]string{"-days", "0"}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if err := run([]string{"-trace", "/nonexistent"}); err == nil {
+		t.Error("missing trace should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestHistoryWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.json")
+	// First run saves history...
+	if err := run(append(tinyArgs("coda"), "-history-out", path)); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() == 0 {
+		t.Fatalf("history file: %v", err)
+	}
+	// ...the second run warm-starts from it.
+	if err := run(append(tinyArgs("coda"), "-history-in", path)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryFlagsRequireCODA(t *testing.T) {
+	if err := run(append(tinyArgs("fifo"), "-history-in", "x")); err == nil {
+		t.Error("-history-in with fifo should fail")
+	}
+	if err := run(append(tinyArgs("fifo"), "-history-out", "x")); err == nil {
+		t.Error("-history-out with fifo should fail")
+	}
+	if err := run(append(tinyArgs("coda"), "-history-in", "/nonexistent")); err == nil {
+		t.Error("missing history file should fail")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndStats(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"-gen", "-days", "1", "-cpu-jobs", "50", "-gpu-jobs", "20", "-o", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace file: %v, size %d", err, info.Size())
+	}
+	if err := run([]string{"-stats", out}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no mode should fail")
+	}
+	if err := run([]string{"-stats", "/nonexistent/file"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-gen", "-days", "0"}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -1,0 +1,28 @@
+// Package coda is a Go reproduction of "CODA: Improving Resource
+// Utilization by Slimming and Co-locating DNN and CPU Jobs" (Zhao et al.,
+// ICDCS 2020).
+//
+// CODA schedules multi-tenant GPU clusters that host both DNN training
+// jobs and traditional CPU jobs. It is built from three cooperating parts:
+//
+//   - an adaptive CPU allocator that finds the just-enough core count for
+//     each training job by a feedback search over observed GPU utilization
+//     (internal/core.Allocator);
+//   - a real-time contention eliminator that watches per-node memory
+//     bandwidth and throttles CPU jobs that degrade co-located training
+//     (internal/core.Eliminator);
+//   - a multi-array job scheduler that partitions cluster resources into a
+//     CPU array and a GPU array with 1-GPU and 4-GPU sub-arrays, runs DRF
+//     inside each, and preempts cross-array borrowers on demand
+//     (internal/core.MultiArray).
+//
+// Because the paper's physical 80-node GPU cluster is not reproducible,
+// the repository ships a deterministic discrete-event simulator
+// (internal/sim) driven by an analytic DNN performance model calibrated to
+// the paper's own characterization study (internal/perfmodel), plus a
+// synthetic trace generator matching the published workload statistics
+// (internal/trace). FIFO and DRF baselines (internal/sched) run under the
+// same simulated physics, and internal/experiments regenerates every table
+// and figure of the paper's evaluation. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package coda

@@ -1,0 +1,3 @@
+module github.com/coda-repro/coda
+
+go 1.22

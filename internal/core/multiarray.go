@@ -1,0 +1,638 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"github.com/coda-repro/coda/internal/cluster"
+	"github.com/coda-repro/coda/internal/fair"
+	"github.com/coda-repro/coda/internal/history"
+	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/sched"
+)
+
+// ArrayConfig sizes the multi-array resource split (§V-C).
+type ArrayConfig struct {
+	// ReserveCores is the per-node core count reserved for the GPU resource
+	// array ("The GPU resource array reserves some CPU resources for GPU
+	// jobs in this array").
+	ReserveCores int
+	// FourGNodeFraction is the fraction of nodes assigned to the 4-GPU
+	// sub-array.
+	FourGNodeFraction float64
+}
+
+// DefaultArrayConfig returns the initial split used before historical
+// statistics accumulate.
+func DefaultArrayConfig() ArrayConfig {
+	return ArrayConfig{ReserveCores: 14, FourGNodeFraction: 0.3}
+}
+
+// Validate checks the configuration against a node shape.
+func (c ArrayConfig) Validate(coresPerNode int) error {
+	if c.ReserveCores < 0 || c.ReserveCores > coresPerNode {
+		return fmt.Errorf("core: reserve %d out of [0,%d]", c.ReserveCores, coresPerNode)
+	}
+	if c.FourGNodeFraction < 0 || c.FourGNodeFraction > 1 {
+		return fmt.Errorf("core: 4-GPU node fraction %g out of [0,1]", c.FourGNodeFraction)
+	}
+	return nil
+}
+
+// LargeJobGPUs mirrors history.LargeJobGPUs: jobs requesting this many
+// GPUs or more belong to the 4-GPU sub-array.
+const LargeJobGPUs = history.LargeJobGPUs
+
+// runInfo tracks a job the multi-array scheduler started.
+type runInfo struct {
+	j     *job.Job
+	alloc job.Allocation
+}
+
+// MultiArray is the paper's multi-array job scheduler: a CPU resource
+// array and a GPU resource array (split into 1-GPU and 4-GPU sub-arrays),
+// each running DRF internally, with cross-array borrowing and preemption.
+type MultiArray struct {
+	env     sched.Env
+	cfg     ArrayConfig
+	budgets []*nodeBudget
+	// gpuNodes is the count of GPU nodes: budgets[0:gpuNodes] have GPUs,
+	// the rest are CPU-only nodes (§VI-G heterogeneous clusters).
+	gpuNodes  int
+	fourG     []int // node IDs of the 4-GPU sub-array
+	oneG      []int // node IDs of the 1-GPU sub-array
+	cpuAcc    *fair.Accountant
+	gpuAcc    *fair.Accountant
+	cpuQueues map[job.TenantID]*list.List
+	gpuQueues map[job.TenantID]*list.List
+	// desired is the allocator-chosen core count for pending GPU jobs.
+	desired map[job.ID]int
+	running map[job.ID]*runInfo
+	// DisablePreemption stops reserve reclaims (ablation knob).
+	DisablePreemption bool
+	// preemptions counts cross-array reclaims (for reports).
+	preemptions int
+}
+
+// NewMultiArray builds the scheduler for a cluster of nodes × coresPerNode
+// × gpusPerNode.
+func NewMultiArray(cfg ArrayConfig, nodes, coresPerNode, gpusPerNode int) (*MultiArray, error) {
+	return NewMultiArrayForCluster(cfg, cluster.Config{
+		Nodes:        nodes,
+		CoresPerNode: coresPerNode,
+		GPUsPerNode:  gpusPerNode,
+	})
+}
+
+// NewMultiArrayForCluster builds the scheduler for a possibly
+// heterogeneous cluster (§VI-G: "Some larger private clusters maybe
+// composed of both GPU nodes and CPU nodes"). CPU-only nodes carry no
+// reserve — their cores all belong to the CPU array — and stay out of the
+// GPU sub-arrays.
+func NewMultiArrayForCluster(cfg ArrayConfig, cc cluster.Config) (*MultiArray, error) {
+	if cc.Nodes <= 0 || cc.CoresPerNode <= 0 || cc.GPUsPerNode < 0 || cc.CPUOnlyNodes < 0 {
+		return nil, fmt.Errorf("core: bad cluster shape %d+%d nodes, %d cores, %d gpus",
+			cc.Nodes, cc.CPUOnlyNodes, cc.CoresPerNode, cc.GPUsPerNode)
+	}
+	if err := cfg.Validate(cc.CoresPerNode); err != nil {
+		return nil, err
+	}
+	total := cc.TotalNodes()
+	m := &MultiArray{
+		cfg:       cfg,
+		budgets:   make([]*nodeBudget, total),
+		gpuNodes:  cc.Nodes,
+		cpuQueues: make(map[job.TenantID]*list.List),
+		gpuQueues: make(map[job.TenantID]*list.List),
+		desired:   make(map[job.ID]int),
+		running:   make(map[job.ID]*runInfo),
+	}
+	for i := range m.budgets {
+		reserve := cfg.ReserveCores
+		if i >= cc.Nodes {
+			reserve = 0 // CPU-only node: the whole node is CPU-array budget
+		}
+		b, err := newNodeBudget(cc.CoresPerNode, reserve)
+		if err != nil {
+			return nil, err
+		}
+		m.budgets[i] = b
+	}
+	fourGCount := int(float64(cc.Nodes)*cfg.FourGNodeFraction + 0.5)
+	if cc.GPUsPerNode < LargeJobGPUs {
+		fourGCount = 0 // nodes cannot host 4-GPU-per-node jobs anyway
+	}
+	for i := 0; i < cc.Nodes; i++ {
+		if i < fourGCount {
+			m.fourG = append(m.fourG, i)
+		} else {
+			m.oneG = append(m.oneG, i)
+		}
+	}
+	sharedTotal := float64(cc.Nodes*(cc.CoresPerNode-cfg.ReserveCores) + cc.CPUOnlyNodes*cc.CoresPerNode)
+	if sharedTotal <= 0 {
+		sharedTotal = float64(total) // degenerate all-reserved split
+	}
+	var err error
+	m.cpuAcc, err = fair.NewAccountant(fair.Resources{CPU: sharedTotal, GPU: 0}, fair.DominantCPU)
+	if err != nil {
+		return nil, err
+	}
+	gpuTotal := float64(cc.Nodes * cc.GPUsPerNode)
+	if gpuTotal == 0 {
+		gpuTotal = 1
+	}
+	m.gpuAcc, err = fair.NewAccountant(
+		fair.Resources{CPU: float64(total * cc.CoresPerNode), GPU: gpuTotal},
+		fair.DominantGPU,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Bind attaches the environment.
+func (m *MultiArray) Bind(env sched.Env) { m.env = env }
+
+// Preemptions returns the cross-array reclaim count.
+func (m *MultiArray) Preemptions() int { return m.preemptions }
+
+// EnqueueGPU adds a training job with the allocator's chosen core count.
+func (m *MultiArray) EnqueueGPU(j *job.Job, desiredCores int) {
+	if desiredCores < 1 {
+		desiredCores = 1
+	}
+	m.desired[j.ID] = desiredCores
+	m.pushBack(m.gpuQueues, j)
+}
+
+// EnqueueCPU adds a CPU job to the CPU array.
+func (m *MultiArray) EnqueueCPU(j *job.Job) {
+	m.pushBack(m.cpuQueues, j)
+}
+
+// RequeueCPUFront puts a preempted CPU job back at its array head (§V-C).
+func (m *MultiArray) RequeueCPUFront(j *job.Job) {
+	q := m.queueFor(m.cpuQueues, j.Tenant)
+	q.PushFront(j)
+}
+
+func (m *MultiArray) pushBack(queues map[job.TenantID]*list.List, j *job.Job) {
+	m.queueFor(queues, j.Tenant).PushBack(j)
+}
+
+func (m *MultiArray) queueFor(queues map[job.TenantID]*list.List, t job.TenantID) *list.List {
+	q, ok := queues[t]
+	if !ok {
+		q = list.New()
+		queues[t] = q
+	}
+	return q
+}
+
+// OnCompleted releases a finished job's bookkeeping.
+func (m *MultiArray) OnCompleted(j *job.Job) {
+	info, ok := m.running[j.ID]
+	if !ok {
+		return
+	}
+	for _, nid := range info.alloc.NodeIDs {
+		m.budgets[nid].release(j.ID)
+	}
+	delete(m.running, j.ID)
+	delete(m.desired, j.ID)
+	if j.IsGPU() {
+		_ = m.gpuAcc.Refund(j.ID)
+	} else {
+		_ = m.cpuAcc.Refund(j.ID)
+	}
+}
+
+// RunningAlloc reports a running job's allocation.
+func (m *MultiArray) RunningAlloc(id job.ID) (job.Allocation, bool) {
+	info, ok := m.running[id]
+	if !ok {
+		return job.Allocation{}, false
+	}
+	return info.alloc.Clone(), true
+}
+
+// ResizeRunning changes a running job's per-node cores, keeping pool
+// bookkeeping, cluster state and fair-share accounting consistent.
+func (m *MultiArray) ResizeRunning(id job.ID, newCores int) error {
+	info, ok := m.running[id]
+	if !ok {
+		return fmt.Errorf("core: job %d is not running", id)
+	}
+	old := info.alloc.CPUCores
+	if newCores == old {
+		return nil
+	}
+	// Book pools first (pool headroom implies cluster headroom).
+	resized := make([]int, 0, len(info.alloc.NodeIDs))
+	for _, nid := range info.alloc.NodeIDs {
+		if !m.budgets[nid].resize(id, newCores) {
+			for _, done := range resized {
+				m.budgets[done].resize(id, old)
+			}
+			return fmt.Errorf("core: node %d cannot host %d cores for job %d", nid, newCores, id)
+		}
+		resized = append(resized, nid)
+	}
+	if err := m.env.ResizeJob(id, newCores); err != nil {
+		for _, done := range resized {
+			m.budgets[done].resize(id, old)
+		}
+		return err
+	}
+	info.alloc.CPUCores = newCores
+	acc := m.cpuAcc
+	if info.j.IsGPU() {
+		acc = m.gpuAcc
+	}
+	_ = acc.Adjust(id, fair.Resources{
+		CPU: float64(info.alloc.TotalCPUCores()),
+		GPU: float64(info.alloc.TotalGPUs()),
+	})
+	return nil
+}
+
+// pendingTenants lists tenants with non-empty queues.
+func pendingTenants(queues map[job.TenantID]*list.List) []job.TenantID {
+	var out []job.TenantID
+	for t, q := range queues {
+		if q.Len() > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// GPUJobsPending reports whether any training job waits.
+func (m *MultiArray) GPUJobsPending() bool {
+	for _, q := range m.gpuQueues {
+		if q.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain runs both arrays' scheduling passes: GPU jobs first (they hold the
+// scarce resource and may preempt borrowed cores), then CPU jobs.
+func (m *MultiArray) Drain() {
+	m.drainGPU()
+	m.drainCPU()
+}
+
+// drainGPU progressively fills the GPU arrays in DRF order.
+func (m *MultiArray) drainGPU() {
+	blocked := make(map[job.TenantID]bool)
+	for {
+		var candidates []job.TenantID
+		for _, t := range pendingTenants(m.gpuQueues) {
+			if !blocked[t] {
+				candidates = append(candidates, t)
+			}
+		}
+		tenant, ok := m.gpuAcc.PoorestTenant(candidates)
+		if !ok {
+			return
+		}
+		q := m.gpuQueues[tenant]
+		elem := q.Front()
+		j, okJob := elem.Value.(*job.Job)
+		if !okJob {
+			q.Remove(elem)
+			continue
+		}
+		if m.startGPU(j) {
+			q.Remove(elem)
+			continue
+		}
+		blocked[tenant] = true
+	}
+}
+
+// drainCPU progressively fills the CPU array in DRF order. CPU jobs may
+// always borrow idle reserve cores; arriving GPU jobs reclaim them by
+// preemption ("If CPU jobs burst and the GPU resource array is relatively
+// idle, the multi-array scheduler allows CPU jobs to preempt the reserved
+// cores... When a GPU job arrives and needs the preempted CPU cores, CODA
+// aborts the running CPU job", §V-C).
+func (m *MultiArray) drainCPU() {
+	allowBorrow := true
+	blocked := make(map[job.TenantID]bool)
+	for {
+		var candidates []job.TenantID
+		for _, t := range pendingTenants(m.cpuQueues) {
+			if !blocked[t] {
+				candidates = append(candidates, t)
+			}
+		}
+		tenant, ok := m.cpuAcc.PoorestTenant(candidates)
+		if !ok {
+			return
+		}
+		q := m.cpuQueues[tenant]
+		elem := q.Front()
+		j, okJob := elem.Value.(*job.Job)
+		if !okJob {
+			q.Remove(elem)
+			continue
+		}
+		if m.startCPU(j, allowBorrow) {
+			q.Remove(elem)
+			continue
+		}
+		blocked[tenant] = true
+	}
+}
+
+// gpuNodeOrder returns the placement preference for a training job: its
+// own sub-array first, the other as fallback (§V-C).
+func (m *MultiArray) gpuNodeOrder(j *job.Job) []int {
+	large := j.Request.GPUs >= LargeJobGPUs
+	order := make([]int, 0, len(m.fourG)+len(m.oneG))
+	if large {
+		order = append(order, m.fourG...)
+		order = append(order, m.oneG...)
+	} else {
+		order = append(order, m.oneG...)
+		order = append(order, m.fourG...)
+	}
+	return order
+}
+
+// startGPU attempts to place and start a training job with its
+// allocator-chosen core count, preempting borrowed reserve cores if that
+// is what stands in the way. When even preemption cannot fund the desired
+// cores, the job starts slimmer — an idle GPU contributes zero utilization
+// while a core-starved training job still makes progress, and the adaptive
+// allocator grows the job back once cores free up (§V-B2).
+func (m *MultiArray) startGPU(j *job.Job) bool {
+	desired := m.desired[j.ID]
+	if desired < 1 {
+		desired = j.Request.CPUCores
+	}
+	for cores := desired; cores >= 1; cores = nextSlimmer(cores) {
+		if m.startGPUAt(j, cores) {
+			return true
+		}
+	}
+	return false
+}
+
+// nextSlimmer steps the fallback core ladder: halve, then floor at 1.
+func nextSlimmer(cores int) int {
+	if cores <= 1 {
+		return 0
+	}
+	next := cores / 2
+	if next < 1 {
+		next = 1
+	}
+	return next
+}
+
+// startGPUAt tries one specific core count.
+func (m *MultiArray) startGPUAt(j *job.Job, cores int) bool {
+	gpus := j.Request.GPUsPerNode()
+	order := m.gpuNodeOrder(j)
+	ownLen := len(m.oneG)
+	if j.Request.GPUs >= LargeJobGPUs {
+		ownLen = len(m.fourG)
+	}
+
+	pickNodes := func(withPreempt bool) []int {
+		// Collect all feasible nodes in preference order, then pack
+		// best-fit (fewest free GPUs first) so large GPU holes survive for
+		// 4-GPU jobs — the multi-array design's anti-fragmentation goal.
+		type candidate struct {
+			nid, freeGPUs, pref int
+		}
+		var cands []candidate
+		for pref, nid := range order {
+			n, err := m.env.Cluster().Node(nid)
+			if err != nil || n.FreeGPUs() < gpus {
+				continue
+			}
+			b := m.budgets[nid]
+			headroom := b.reserveFree() + b.sharedFree()
+			if withPreempt {
+				headroom += b.borrowedCores()
+			}
+			if headroom < cores {
+				continue
+			}
+			cands = append(cands, candidate{nid: nid, freeGPUs: n.FreeGPUs(), pref: pref})
+		}
+		if len(cands) < j.Request.Nodes {
+			return nil
+		}
+		// breaksHole marks placements that would split an intact >= 4-GPU
+		// hole, the resource large jobs need; keep such holes whole unless
+		// nothing else fits.
+		breaksHole := func(c candidate) bool {
+			return gpus < LargeJobGPUs &&
+				c.freeGPUs >= LargeJobGPUs && c.freeGPUs-gpus < LargeJobGPUs
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			// Stay within the preferred sub-array region first, avoid
+			// breaking 4-GPU holes second, then pack best-fit.
+			aOwn, bOwn := cands[a].pref < ownLen, cands[b].pref < ownLen
+			if aOwn != bOwn {
+				return aOwn
+			}
+			aBreak, bBreak := breaksHole(cands[a]), breaksHole(cands[b])
+			if aBreak != bBreak {
+				return !aBreak
+			}
+			if cands[a].freeGPUs != cands[b].freeGPUs {
+				return cands[a].freeGPUs < cands[b].freeGPUs
+			}
+			return cands[a].nid < cands[b].nid
+		})
+		nodes := make([]int, 0, j.Request.Nodes)
+		for _, c := range cands[:j.Request.Nodes] {
+			nodes = append(nodes, c.nid)
+		}
+		return nodes
+	}
+
+	nodes := pickNodes(false)
+	if nodes == nil {
+		if m.DisablePreemption {
+			return false
+		}
+		nodes = pickNodes(true)
+		if nodes == nil {
+			return false
+		}
+		// Reclaim borrowed cores: "When a GPU job arrives and needs the
+		// preempted CPU cores, CODA aborts the running CPU job" (§V-C).
+		for _, nid := range nodes {
+			if !m.reclaimNode(nid, cores) {
+				return false
+			}
+		}
+	}
+
+	alloc := job.Allocation{NodeIDs: nodes, CPUCores: cores, GPUs: gpus}
+	for _, nid := range nodes {
+		if !m.budgets[nid].chargeGPU(j.ID, cores) {
+			for _, done := range nodes {
+				m.budgets[done].release(j.ID)
+			}
+			return false
+		}
+	}
+	if err := m.env.StartJob(j.ID, alloc); err != nil {
+		for _, nid := range nodes {
+			m.budgets[nid].release(j.ID)
+		}
+		return false
+	}
+	m.running[j.ID] = &runInfo{j: j, alloc: alloc}
+	_ = m.gpuAcc.Charge(j.ID, j.Tenant, fair.Resources{
+		CPU: float64(alloc.TotalCPUCores()),
+		GPU: float64(alloc.TotalGPUs()),
+	})
+	return true
+}
+
+// reclaimNode preempts borrowers on a node until the pools can cover
+// `cores` more. Preempted jobs re-enter the CPU array head.
+func (m *MultiArray) reclaimNode(nid int, cores int) bool {
+	b := m.budgets[nid]
+	for _, victim := range b.borrowers() {
+		if b.reserveFree()+b.sharedFree() >= cores {
+			break
+		}
+		info, ok := m.running[victim]
+		if !ok {
+			continue
+		}
+		clone, err := m.env.PreemptJob(victim)
+		if err != nil {
+			continue
+		}
+		for _, vn := range info.alloc.NodeIDs {
+			m.budgets[vn].release(victim)
+		}
+		delete(m.running, victim)
+		_ = m.cpuAcc.Refund(victim)
+		m.preemptions++
+		m.RequeueCPUFront(clone)
+	}
+	return b.reserveFree()+b.sharedFree() >= cores
+}
+
+// startCPU attempts to place and start a CPU job. Nodes are scanned from
+// the highest ID (the 1-GPU sub-array's tail) so the 4-GPU sub-array's
+// shared pools stay emptier, keeping large-job placements cheap.
+func (m *MultiArray) startCPU(j *job.Job, allowBorrow bool) bool {
+	cores := j.Request.CPUCores
+	for nid := len(m.budgets) - 1; nid >= 0; nid-- {
+		n, err := m.env.Cluster().Node(nid)
+		if err != nil || n.FreeCores() < cores {
+			continue
+		}
+		b := m.budgets[nid]
+		if b.sharedFree() < cores && !(allowBorrow && b.sharedFree()+b.reserveFree() >= cores) {
+			continue
+		}
+		if !b.chargeCPU(j.ID, cores, allowBorrow) {
+			continue
+		}
+		alloc := job.Allocation{NodeIDs: []int{nid}, CPUCores: cores}
+		if err := m.env.StartJob(j.ID, alloc); err != nil {
+			b.release(j.ID)
+			continue
+		}
+		m.running[j.ID] = &runInfo{j: j, alloc: alloc}
+		_ = m.cpuAcc.Charge(j.ID, j.Tenant, fair.Resources{CPU: float64(cores)})
+		return true
+	}
+	return false
+}
+
+// QueueLens reports pending counts (gpu, cpu) for tests and metrics.
+func (m *MultiArray) QueueLens() (gpu, cpu int) {
+	for _, q := range m.gpuQueues {
+		gpu += q.Len()
+	}
+	for _, q := range m.cpuQueues {
+		cpu += q.Len()
+	}
+	return gpu, cpu
+}
+
+// Rebalance adapts the per-node reserve to historical statistics: the GPU
+// array reserves roughly the mean tuned core demand per GPU times the node
+// GPU count ("This part of the computing resources is derived from
+// historical statistical information", §V-C). The reserve only moves
+// within what current occupancy allows.
+func (m *MultiArray) Rebalance(stats history.Stats, gpusPerNode int) {
+	if stats.GPUJobs == 0 || stats.MeanCoresPerGPU <= 0 {
+		return
+	}
+	// Reserve enough cores to feed a node full of GPUs at the historical
+	// per-GPU CPU demand, plus one spare for headroom.
+	target := int(stats.MeanCoresPerGPU*float64(gpusPerNode)+0.5) + 1
+	for nid, b := range m.budgets {
+		if nid >= m.gpuNodes {
+			continue // CPU-only nodes never reserve cores for GPU jobs
+		}
+		want := target
+		if want < 2 {
+			want = 2
+		}
+		if max := b.cores - 2; want > max {
+			want = max
+		}
+		// Never cut below what GPU jobs + borrowers already use, and never
+		// grow beyond what the shared pool's occupancy allows.
+		if used := b.reserveUsed(); want < used {
+			want = used
+		}
+		if maxGrow := b.cores - b.sharedUsed(); want > maxGrow {
+			want = maxGrow
+		}
+		b.reserve = want
+	}
+	// Re-split the GPU sub-arrays: assign the 4-GPU sub-array the share of
+	// nodes matching the historical share of GPU demand from large jobs
+	// ("The division of the corresponding array is also determined by the
+	// statistical information of the historical jobs", §V-C).
+	if gpusPerNode >= LargeJobGPUs && stats.LargeGPUShare > 0 {
+		fourGCount := int(float64(m.gpuNodes)*stats.LargeGPUShare + 0.5)
+		if fourGCount > m.gpuNodes {
+			fourGCount = m.gpuNodes
+		}
+		m.fourG = m.fourG[:0]
+		m.oneG = m.oneG[:0]
+		for i := 0; i < m.gpuNodes; i++ {
+			if i < fourGCount {
+				m.fourG = append(m.fourG, i)
+			} else {
+				m.oneG = append(m.oneG, i)
+			}
+		}
+	}
+}
+
+// CheckInvariants validates all node budgets and accountants.
+func (m *MultiArray) CheckInvariants() error {
+	for nid, b := range m.budgets {
+		if err := b.checkInvariants(); err != nil {
+			return fmt.Errorf("node %d: %w", nid, err)
+		}
+	}
+	if err := m.cpuAcc.CheckInvariants(); err != nil {
+		return err
+	}
+	return m.gpuAcc.CheckInvariants()
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/coda-repro/coda/internal/perfmodel"
+)
+
+// Fig3Point is one operating point of Fig. 3's sweep: GPU utilization and
+// normalized training speed for a model × configuration × core count.
+type Fig3Point struct {
+	// Model and Config identify the curve; Cores is the x-axis.
+	Model  string
+	Config string
+	Cores  int
+	// GPUUtil and Speed are the y-axes.
+	GPUUtil, Speed float64
+}
+
+// Fig3 sweeps GPU utilization and training speed against the allocated
+// core count for every Table I model under 1N1G and 1N4G, reproducing
+// Fig. 3's curves.
+func Fig3() ([]Fig3Point, error) {
+	configs := []perfmodel.Config{
+		{Nodes: 1, GPUs: 1},
+		{Nodes: 1, GPUs: 4},
+	}
+	var pts []Fig3Point
+	for _, name := range perfmodel.Names() {
+		m, err := perfmodel.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			for cores := 1; cores <= 14; cores++ {
+				util, err := m.GPUUtil(cfg, 0, cores, perfmodel.Contention{})
+				if err != nil {
+					return nil, err
+				}
+				speed, err := m.Speed(cfg, 0, cores, perfmodel.Contention{})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, Fig3Point{
+					Model: name, Config: cfg.String(), Cores: cores,
+					GPUUtil: util, Speed: speed,
+				})
+			}
+		}
+	}
+	return pts, nil
+}
+
+// Fig5Row is one cell of Fig. 5's optimal-core-count table.
+type Fig5Row struct {
+	// Model and Config identify the cell; Batch distinguishes the default
+	// and maximum batch sizes.
+	Model  string
+	Config string
+	Batch  string // "default" or "max"
+	// OptimalCores is the measured optimum.
+	OptimalCores int
+}
+
+// Fig5 tabulates the optimal CPU core count per model × configuration ×
+// batch size, reproducing Fig. 5.
+func Fig5() ([]Fig5Row, error) {
+	configs := []perfmodel.Config{
+		{Nodes: 1, GPUs: 1},
+		{Nodes: 1, GPUs: 2},
+		{Nodes: 1, GPUs: 4},
+		{Nodes: 2, GPUs: 8},
+	}
+	var rows []Fig5Row
+	for _, name := range perfmodel.Names() {
+		m, err := perfmodel.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			for _, batch := range []struct {
+				label string
+				size  int
+			}{{"default", m.DefaultBatch}, {"max", m.MaxBatch}} {
+				opt, err := m.OptimalCores(cfg, batch.size)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig5Row{
+					Model: name, Config: cfg.String(), Batch: batch.label,
+					OptimalCores: opt,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one cell of Fig. 6's memory-bandwidth-demand table.
+type Fig6Row struct {
+	// Model, Config and Batch identify the cell.
+	Model  string
+	Config string
+	Batch  string
+	// BandwidthGBs is the per-node demand at the optimal core count.
+	BandwidthGBs float64
+}
+
+// Fig6 tabulates per-node memory-bandwidth demand at the optimal core
+// count, reproducing Fig. 6.
+func Fig6() ([]Fig6Row, error) {
+	configs := []perfmodel.Config{
+		{Nodes: 1, GPUs: 1},
+		{Nodes: 1, GPUs: 2},
+		{Nodes: 1, GPUs: 4},
+	}
+	var rows []Fig6Row
+	for _, name := range perfmodel.Names() {
+		m, err := perfmodel.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			for _, batch := range []struct {
+				label string
+				size  int
+			}{{"default", m.DefaultBatch}, {"max", m.MaxBatch}} {
+				opt, err := m.OptimalCores(cfg, batch.size)
+				if err != nil {
+					return nil, err
+				}
+				bw, err := m.BandwidthDemand(cfg, batch.size, opt)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig6Row{
+					Model: name, Config: cfg.String(), Batch: batch.label,
+					BandwidthGBs: bw,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Point is one operating point of Fig. 7's contention sweep.
+type Fig7Point struct {
+	// Model identifies the curve; HeatThreads is the pressure level;
+	// Pressure is "bw" or "llc".
+	Model       string
+	Pressure    string
+	HeatThreads int
+	// NormalizedPerf is speed under contention / speed alone.
+	NormalizedPerf float64
+}
+
+// heatThreadBandwidthGBs is the per-thread memory bandwidth the HEAT
+// stand-in drives (a STREAM-like kernel saturates a DDR4 channel with a
+// handful of threads).
+const heatThreadBandwidthGBs = 5.0
+
+// nodeBandwidthGBs mirrors the default node capacity.
+const nodeBandwidthGBs = 120.0
+
+// Fig7 sweeps every 1N1G model against rising HEAT pressure on memory
+// bandwidth and on the LLC, reproducing Fig. 7: NLP models collapse by
+// >=50%, Alexnet degrades, other CV models barely move, Deepspeech is more
+// sensitive than Wavenet, and LLC pressure is harmless for all.
+func Fig7() ([]Fig7Point, error) {
+	cfg := perfmodel.Config{Nodes: 1, GPUs: 1}
+	threadLevels := []int{0, 4, 8, 16, 24, 32}
+	var pts []Fig7Point
+	for _, name := range perfmodel.Names() {
+		m, err := perfmodel.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := m.OptimalCores(cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := m.Speed(cfg, 0, opt, perfmodel.Contention{})
+		if err != nil {
+			return nil, err
+		}
+		selfBW, err := m.BandwidthDemand(cfg, 0, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, threads := range threadLevels {
+			heat := float64(threads) * heatThreadBandwidthGBs
+			c := perfmodel.Contention{BandwidthUtil: (selfBW + heat) / nodeBandwidthGBs}
+			s, err := m.Speed(cfg, 0, opt, c)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Fig7Point{
+				Model: name, Pressure: "bw", HeatThreads: threads,
+				NormalizedPerf: s / base,
+			})
+			// LLC pressure scales with thread count up to full occupancy.
+			llc := perfmodel.Contention{LLCPressure: float64(threads) / 32}
+			s, err = m.Speed(cfg, 0, opt, llc)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Fig7Point{
+				Model: name, Pressure: "llc", HeatThreads: threads,
+				NormalizedPerf: s / base,
+			})
+		}
+	}
+	return pts, nil
+}
+
+// Table1Row is one model of Table I.
+type Table1Row struct {
+	// Model, Scenario and Type mirror the paper's columns.
+	Model, Scenario, Type string
+}
+
+// Table1 reproduces Table I's benchmark catalog.
+func Table1() []Table1Row {
+	kind := map[string]Table1Row{
+		"alexnet":     {Scenario: "CV", Type: "CNN"},
+		"vgg16":       {Scenario: "CV", Type: "CNN"},
+		"inception3":  {Scenario: "CV", Type: "CNN"},
+		"resnet50":    {Scenario: "CV", Type: "CNN"},
+		"bat":         {Scenario: "NLP", Type: "RNN"},
+		"transformer": {Scenario: "NLP", Type: "-"},
+		"wavenet":     {Scenario: "Speech", Type: "CNN"},
+		"deepspeech":  {Scenario: "Speech", Type: "RNN"},
+	}
+	var rows []Table1Row
+	for _, name := range perfmodel.Names() {
+		r := kind[name]
+		r.Model = name
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FormatDuration renders durations the way reports print them.
+func FormatDuration(d time.Duration) string {
+	return d.Truncate(time.Second).String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/coda-repro/coda/internal/core"
+	"github.com/coda-repro/coda/internal/sched"
+	"github.com/coda-repro/coda/internal/sim"
+)
+
+// Comparison holds one trace replayed under all three schedulers.
+type Comparison struct {
+	// Scale is the operating point.
+	Scale Scale
+	// FIFO, DRF and CODA are the per-scheduler results.
+	FIFO, DRF, CODA *sim.Result
+}
+
+// comparison runs are memoized per scale: Figs. 10-14 and §VI-C all read
+// the same three runs.
+var (
+	compMu    sync.Mutex
+	compCache = make(map[Scale]*Comparison)
+)
+
+// RunComparison replays the scale's trace under FIFO, DRF and CODA.
+// Results are cached per scale for the life of the process.
+func RunComparison(sc Scale) (*Comparison, error) {
+	compMu.Lock()
+	defer compMu.Unlock()
+	if c, ok := compCache[sc]; ok {
+		return c, nil
+	}
+	c, err := runComparison(sc)
+	if err != nil {
+		return nil, err
+	}
+	compCache[sc] = c
+	return c, nil
+}
+
+func runComparison(sc Scale) (*Comparison, error) {
+	jobs, err := sc.generate()
+	if err != nil {
+		return nil, err
+	}
+	opts := sc.simOptions()
+
+	newCODA := func() (sched.Scheduler, error) {
+		return core.New(core.DefaultConfig(), opts.Cluster.Nodes, opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
+	}
+	newDRF := func() (sched.Scheduler, error) {
+		return sched.NewDRF(opts.Cluster.Nodes*opts.Cluster.CoresPerNode, opts.Cluster.Nodes*opts.Cluster.GPUsPerNode)
+	}
+	newFIFO := func() (sched.Scheduler, error) { return sched.NewFIFO(), nil }
+
+	// The three replays are independent (each gets its own cluster,
+	// simulator and job clones), so they run concurrently. Results stay
+	// deterministic: concurrency only overlaps wall-clock time.
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	run := func(build func() (sched.Scheduler, error), name string, out *outcome, done func()) {
+		defer done()
+		s, err := build()
+		if err != nil {
+			out.err = fmt.Errorf("%s run: %w", name, err)
+			return
+		}
+		simulator, err := sim.New(opts, s, cloneJobs(jobs))
+		if err != nil {
+			out.err = fmt.Errorf("%s run: %w", name, err)
+			return
+		}
+		out.res, out.err = simulator.Run()
+		if out.err != nil {
+			out.err = fmt.Errorf("%s run: %w", name, out.err)
+		}
+	}
+
+	var fifo, drf, coda outcome
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go run(newFIFO, "fifo", &fifo, wg.Done)
+	go run(newDRF, "drf", &drf, wg.Done)
+	go run(newCODA, "coda", &coda, wg.Done)
+	wg.Wait()
+
+	for _, out := range []*outcome{&fifo, &drf, &coda} {
+		if out.err != nil {
+			return nil, out.err
+		}
+	}
+	return &Comparison{Scale: sc, FIFO: fifo.res, DRF: drf.res, CODA: coda.res}, nil
+}
+
+// RunCODAVariant replays the scale's trace under a custom CODA
+// configuration (used by the §VI-E ablation and the design-choice
+// ablations). Not cached.
+func RunCODAVariant(sc Scale, cfg core.Config) (*sim.Result, error) {
+	jobs, err := sc.generate()
+	if err != nil {
+		return nil, err
+	}
+	opts := sc.simOptions()
+	s, err := core.New(cfg, opts.Cluster.Nodes, opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	simulator, err := sim.New(opts, s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return simulator.Run()
+}

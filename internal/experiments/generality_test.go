@@ -1,0 +1,85 @@
+package experiments
+
+import "testing"
+
+func TestGenerality(t *testing.T) {
+	rows, err := Generality(testScale(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]GeneralityRow{}
+	for _, r := range rows {
+		byName[r.Scheduler] = r
+	}
+	// §VI-G: CODA's advantages persist on heterogeneous clusters.
+	if byName["coda"].GPUUtil <= byName["fifo"].GPUUtil+0.05 {
+		t.Errorf("coda util %g not clearly above fifo %g on the heterogeneous cluster",
+			byName["coda"].GPUUtil, byName["fifo"].GPUUtil)
+	}
+	if byName["coda"].GPUImmediate <= byName["fifo"].GPUImmediate {
+		t.Errorf("coda immediate %g <= fifo %g",
+			byName["coda"].GPUImmediate, byName["fifo"].GPUImmediate)
+	}
+	// CPU jobs stay fast for everyone: the CPU nodes absorb them.
+	for name, r := range byName {
+		if r.CPUWithin3Min < 0.9 {
+			t.Errorf("%s CPU within 3min = %g on the heterogeneous cluster", name, r.CPUWithin3Min)
+		}
+	}
+}
+
+func TestGeneralityValidation(t *testing.T) {
+	if _, err := Generality(testScale(), -1); err == nil {
+		t.Error("negative cpu-only nodes should fail")
+	}
+}
+
+func TestAblationPreemption(t *testing.T) {
+	res, err := AblationPreemption(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disabling reclaims must not make GPU placement better.
+	if res.AblatedImmediate > res.FullImmediate+0.02 {
+		t.Errorf("preemption off improved immediacy: %g vs %g",
+			res.AblatedImmediate, res.FullImmediate)
+	}
+}
+
+func TestAblationEliminatorThreshold(t *testing.T) {
+	pts, err := AblationEliminatorThreshold(testScale(), []float64{0.6, 0.75, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.GPUUtil <= 0 {
+			t.Errorf("threshold %g: util %g", p.Threshold, p.GPUUtil)
+		}
+	}
+	// A lower threshold can only throttle at least as often as a higher one.
+	if pts[0].Interventions < pts[2].Interventions {
+		t.Errorf("interventions not monotone: %d at 0.6 vs %d at 0.9",
+			pts[0].Interventions, pts[2].Interventions)
+	}
+}
+
+func TestStaticBaseline(t *testing.T) {
+	res, err := StaticBaseline(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static split wastes cores inside oversized GPU slices: CODA must
+	// clearly beat it on utilization (§I's motivation).
+	if res.CODAUtil <= res.GPUUtil+0.05 {
+		t.Errorf("coda util %g not clearly above static %g", res.CODAUtil, res.GPUUtil)
+	}
+	if res.GPUUtil <= 0 {
+		t.Errorf("static util = %g", res.GPUUtil)
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestFig5Golden pins the calibrated optimal-core table (1N1G / 1N4G,
+// default batch). Any perfmodel change that shifts these values must be a
+// deliberate recalibration: EXPERIMENTS.md quotes them.
+func TestFig5Golden(t *testing.T) {
+	want := map[string]map[string]int{
+		"alexnet":     {"1N1G": 6, "1N4G": 16},
+		"vgg16":       {"1N1G": 4, "1N4G": 10},
+		"inception3":  {"1N1G": 3, "1N4G": 8},
+		"resnet50":    {"1N1G": 3, "1N4G": 8},
+		"bat":         {"1N1G": 5, "1N4G": 11},
+		"transformer": {"1N1G": 2, "1N4G": 4},
+		"wavenet":     {"1N1G": 6, "1N4G": 15},
+		"deepspeech":  {"1N1G": 4, "1N4G": 10},
+	}
+	rows, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Batch != "default" {
+			continue
+		}
+		expect, ok := want[r.Model][r.Config]
+		if !ok {
+			continue
+		}
+		if r.OptimalCores != expect {
+			t.Errorf("%s %s: optimal = %d, want %d (recalibrate EXPERIMENTS.md if intentional)",
+				r.Model, r.Config, r.OptimalCores, expect)
+		}
+	}
+}
+
+// TestTable2Golden pins the per-model profiling-step counts quoted in
+// EXPERIMENTS.md.
+func TestTable2Golden(t *testing.T) {
+	want := map[string]int{
+		"alexnet":     4,
+		"vgg16":       4,
+		"inception3":  3,
+		"resnet50":    3,
+		"bat":         3,
+		"transformer": 4,
+		"wavenet":     4,
+		"deepspeech":  4,
+	}
+	rows, err := Table2(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if got, expect := r.ProfilingSteps, want[r.Model]; got != expect {
+			t.Errorf("%s: %d profiling steps, want %d (recalibrate EXPERIMENTS.md if intentional)",
+				r.Model, got, expect)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+// snapshot is the serialized form of the log's aggregates. Per-job records
+// are folded into aggregates at Add time, so persistence is O(tenants),
+// not O(jobs).
+type snapshot struct {
+	ByOwnerCategory []ownerCategoryEntry `json:"byOwnerCategory"`
+	ByOwner         []ownerEntry         `json:"byOwner"`
+	GPUJobCount     int                  `json:"gpuJobCount"`
+	CPUJobCount     int                  `json:"cpuJobCount"`
+	MaxJobGPUs      int                  `json:"maxJobGPUs"`
+	LargeJobGPUs    int                  `json:"largeJobGPUs"`
+	SumGPUJobCore   int                  `json:"sumGPUJobCore"`
+	SumGPUJobGPUs   int                  `json:"sumGPUJobGPUs"`
+	SumLargeGPUs    int                  `json:"sumLargeGPUs"`
+}
+
+type ownerCategoryEntry struct {
+	Tenant    int     `json:"tenant"`
+	Category  int     `json:"category"`
+	MaxCores  int     `json:"maxCores"`
+	MaxPerGPU float64 `json:"maxPerGPU"`
+	Count     int     `json:"count"`
+}
+
+type ownerEntry struct {
+	Tenant    int     `json:"tenant"`
+	MaxCores  int     `json:"maxCores"`
+	MaxPerGPU float64 `json:"maxPerGPU"`
+	Count     int     `json:"count"`
+}
+
+// Save serializes the log so a restarted scheduler keeps its Nstart
+// seeding and array statistics (§V-A step 5: records are kept "for future
+// use").
+func (l *Log) Save(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	snap := snapshot{
+		GPUJobCount:   l.gpuJobCount,
+		CPUJobCount:   l.cpuJobCount,
+		MaxJobGPUs:    l.maxJobGPUs,
+		LargeJobGPUs:  l.largeJobGPUs,
+		SumGPUJobCore: l.sumGPUJobCore,
+		SumGPUJobGPUs: l.sumGPUJobGPUs,
+		SumLargeGPUs:  l.sumLargeGPUs,
+	}
+	for k, agg := range l.byOwnerCategory {
+		snap.ByOwnerCategory = append(snap.ByOwnerCategory, ownerCategoryEntry{
+			Tenant:    int(k.tenant),
+			Category:  int(k.category),
+			MaxCores:  agg.maxCores,
+			MaxPerGPU: agg.maxPerGPU,
+			Count:     agg.count,
+		})
+	}
+	for t, agg := range l.byOwner {
+		snap.ByOwner = append(snap.ByOwner, ownerEntry{
+			Tenant:    int(t),
+			MaxCores:  agg.maxCores,
+			MaxPerGPU: agg.maxPerGPU,
+			Count:     agg.count,
+		})
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(snap); err != nil {
+		return fmt.Errorf("history: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores a log saved with Save.
+func Load(r io.Reader) (*Log, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("history: decode: %w", err)
+	}
+	if snap.GPUJobCount < 0 || snap.CPUJobCount < 0 || snap.SumGPUJobCore < 0 {
+		return nil, fmt.Errorf("history: corrupt snapshot (negative counters)")
+	}
+	l := NewLog()
+	l.gpuJobCount = snap.GPUJobCount
+	l.cpuJobCount = snap.CPUJobCount
+	l.maxJobGPUs = snap.MaxJobGPUs
+	l.largeJobGPUs = snap.LargeJobGPUs
+	l.sumGPUJobCore = snap.SumGPUJobCore
+	l.sumGPUJobGPUs = snap.SumGPUJobGPUs
+	l.sumLargeGPUs = snap.SumLargeGPUs
+	for _, e := range snap.ByOwnerCategory {
+		if e.MaxCores <= 0 || e.Count <= 0 {
+			return nil, fmt.Errorf("history: corrupt owner-category entry %+v", e)
+		}
+		l.byOwnerCategory[key{
+			tenant:   job.TenantID(e.Tenant),
+			category: job.Category(e.Category),
+		}] = aggregate{maxCores: e.MaxCores, maxPerGPU: e.MaxPerGPU, count: e.Count}
+	}
+	for _, e := range snap.ByOwner {
+		if e.MaxCores <= 0 || e.Count <= 0 {
+			return nil, fmt.Errorf("history: corrupt owner entry %+v", e)
+		}
+		l.byOwner[job.TenantID(e.Tenant)] = aggregate{maxCores: e.MaxCores, maxPerGPU: e.MaxPerGPU, count: e.Count}
+	}
+	return l, nil
+}

@@ -1,0 +1,84 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	l := NewLog()
+	records := []Record{
+		gpuRecord(1, 1, job.CategoryCV, 3, 1),
+		gpuRecord(2, 1, job.CategoryCV, 6, 4),
+		gpuRecord(3, 2, job.CategoryNLP, 5, 8),
+		{JobID: 4, Tenant: 3, Kind: job.KindCPU, CPUCores: 2},
+	}
+	for _, r := range records {
+		if err := l.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := restored.Stats(), l.Stats(); got != want {
+		t.Errorf("Stats after load = %+v, want %+v", got, want)
+	}
+	cores, ok := restored.LargestCores(1, job.CategoryCV)
+	if !ok || cores != 6 {
+		t.Errorf("LargestCores = %d, %v; want 6, true", cores, ok)
+	}
+	cores, ok = restored.LargestCoresAnyCategory(2)
+	if !ok || cores != 5 {
+		t.Errorf("LargestCoresAnyCategory = %d, %v; want 5, true", cores, ok)
+	}
+	// The restored log keeps accepting records.
+	if err := restored.Add(gpuRecord(5, 1, job.CategoryCV, 9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if cores, _ := restored.LargestCores(1, job.CategoryCV); cores != 9 {
+		t.Errorf("post-load LargestCores = %d, want 9", cores)
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewLog().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats() != (Stats{}) {
+		t.Errorf("empty round trip = %+v", restored.Stats())
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	tests := []struct {
+		name, input string
+	}{
+		{"garbage", "not json"},
+		{"negative counter", `{"gpuJobCount":-1}`},
+		{"corrupt owner entry", `{"byOwner":[{"tenant":1,"maxCores":0,"count":1}]}`},
+		{"corrupt category entry", `{"byOwnerCategory":[{"tenant":1,"category":1,"maxCores":3,"count":0}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tt.input)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

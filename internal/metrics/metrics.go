@@ -1,0 +1,330 @@
+// Package metrics provides the measurement primitives every experiment in
+// the paper reports on: time series of active/utilization rates (Figs. 1
+// and 10), queueing-time CDFs (Fig. 11), per-user 99th-percentile queueing
+// times (Fig. 12), and histograms of allocator core adjustments (Fig. 14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series is a time-ordered sequence of (time, value) samples.
+type Series struct {
+	times  []time.Duration
+	values []float64
+}
+
+// Add appends a sample. Samples must arrive in non-decreasing time order.
+func (s *Series) Add(t time.Duration, v float64) error {
+	if n := len(s.times); n > 0 && t < s.times[n-1] {
+		return fmt.Errorf("metrics: sample at %v arrives after %v", t, s.times[n-1])
+	}
+	s.times = append(s.times, t)
+	s.values = append(s.values, v)
+	return nil
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.values) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) (time.Duration, float64) { return s.times[i], s.values[i] }
+
+// Mean returns the arithmetic mean of the values (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Max returns the maximum value (0 for an empty series).
+func (s *Series) Max() float64 {
+	max := 0.0
+	for i, v := range s.values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the minimum value (0 for an empty series).
+func (s *Series) Min() float64 {
+	min := 0.0
+	for i, v := range s.values {
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Values returns a copy of the values.
+func (s *Series) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// Times returns a copy of the sample times.
+func (s *Series) Times() []time.Duration {
+	return append([]time.Duration(nil), s.times...)
+}
+
+// Downsample returns a series with one mean-aggregated sample per bucket of
+// width. Used to turn fine-grained simulation samples into the hourly
+// points Figs. 1 and 10 plot.
+func (s *Series) Downsample(width time.Duration) (*Series, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("metrics: downsample width must be positive, got %v", width)
+	}
+	out := &Series{}
+	if len(s.times) == 0 {
+		return out, nil
+	}
+	bucketStart := s.times[0] - s.times[0]%width
+	sum, count := 0.0, 0
+	flush := func() {
+		if count > 0 {
+			out.times = append(out.times, bucketStart)
+			out.values = append(out.values, sum/float64(count))
+		}
+	}
+	for i, t := range s.times {
+		for t >= bucketStart+width {
+			flush()
+			bucketStart += width
+			sum, count = 0, 0
+		}
+		sum += s.values[i]
+		count++
+	}
+	flush()
+	return out, nil
+}
+
+// CDF accumulates duration samples and answers distribution queries.
+type CDF struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(d time.Duration) {
+	c.samples = append(c.samples, d)
+	c.sorted = false
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Slice(c.samples, func(i, j int) bool { return c.samples[i] < c.samples[j] })
+		c.sorted = true
+	}
+}
+
+// FractionAtMost returns the fraction of samples <= d, in [0, 1].
+func (c *CDF) FractionAtMost(d time.Duration) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	idx := sort.Search(len(c.samples), func(i int) bool { return c.samples[i] > d })
+	return float64(idx) / float64(len(c.samples))
+}
+
+// FractionAbove returns the fraction of samples > d.
+func (c *CDF) FractionAbove(d time.Duration) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	return 1 - c.FractionAtMost(d)
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using the
+// nearest-rank method; 0 for an empty CDF.
+func (c *CDF) Percentile(p float64) time.Duration {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	c.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(c.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.samples[rank-1]
+}
+
+// Mean returns the arithmetic mean sample.
+func (c *CDF) Mean() time.Duration {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range c.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(c.samples))
+}
+
+// Points returns (duration, cumulative fraction) pairs suitable for
+// plotting the CDF at each distinct sample value.
+func (c *CDF) Points() []CDFPoint {
+	if len(c.samples) == 0 {
+		return nil
+	}
+	c.ensureSorted()
+	var pts []CDFPoint
+	n := float64(len(c.samples))
+	for i, d := range c.samples {
+		if i+1 < len(c.samples) && c.samples[i+1] == d {
+			continue // emit only the last occurrence of each value
+		}
+		pts = append(pts, CDFPoint{Value: d, Fraction: float64(i+1) / n})
+	}
+	return pts
+}
+
+// CDFPoint is one step of a plotted CDF.
+type CDFPoint struct {
+	// Value is the sample value.
+	Value time.Duration
+	// Fraction is the cumulative fraction of samples <= Value.
+	Fraction float64
+}
+
+// IntHistogram counts integer-valued observations into caller-defined
+// bucket edges. A value v falls into bucket i when edges[i] <= v < edges[i+1];
+// values below edges[0] or at/above edges[len-1] fall into the open-ended
+// underflow/overflow buckets.
+type IntHistogram struct {
+	edges     []int
+	counts    []int // len(edges)-1 interior buckets
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewIntHistogram builds a histogram with strictly increasing edges.
+func NewIntHistogram(edges []int) (*IntHistogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("metrics: need at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("metrics: edges must strictly increase (%d then %d)", edges[i-1], edges[i])
+		}
+	}
+	return &IntHistogram{
+		edges:  append([]int(nil), edges...),
+		counts: make([]int, len(edges)-1),
+	}, nil
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	h.total++
+	if v < h.edges[0] {
+		h.underflow++
+		return
+	}
+	if v >= h.edges[len(h.edges)-1] {
+		h.overflow++
+		return
+	}
+	idx := sort.SearchInts(h.edges, v+1) - 1
+	h.counts[idx]++
+}
+
+// Total returns the observation count.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Bucket returns the count and fraction of bucket i (interior buckets only).
+func (h *IntHistogram) Bucket(i int) (count int, fraction float64, err error) {
+	if i < 0 || i >= len(h.counts) {
+		return 0, 0, fmt.Errorf("metrics: bucket %d out of range [0,%d)", i, len(h.counts))
+	}
+	count = h.counts[i]
+	if h.total > 0 {
+		fraction = float64(count) / float64(h.total)
+	}
+	return count, fraction, nil
+}
+
+// FractionIn returns the fraction of observations v with lo <= v <= hi,
+// computed from raw bucket counts when [lo,hi] aligns with bucket edges; it
+// falls back to scanning interior buckets fully contained in [lo, hi].
+func (h *IntHistogram) FractionIn(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	count := 0
+	for i := range h.counts {
+		if h.edges[i] >= lo && h.edges[i+1]-1 <= hi {
+			count += h.counts[i]
+		}
+	}
+	return float64(count) / float64(h.total)
+}
+
+// Underflow and Overflow return the open-ended bucket counts.
+func (h *IntHistogram) Underflow() int { return h.underflow }
+
+// Overflow returns the count of observations at/above the last edge.
+func (h *IntHistogram) Overflow() int { return h.overflow }
+
+// PerKeyCDF maintains one CDF per key (per-tenant queueing times, Fig. 12).
+type PerKeyCDF struct {
+	cdfs map[int]*CDF
+}
+
+// NewPerKeyCDF builds an empty per-key CDF collection.
+func NewPerKeyCDF() *PerKeyCDF {
+	return &PerKeyCDF{cdfs: make(map[int]*CDF)}
+}
+
+// Add records a sample under key.
+func (p *PerKeyCDF) Add(key int, d time.Duration) {
+	c, ok := p.cdfs[key]
+	if !ok {
+		c = &CDF{}
+		p.cdfs[key] = c
+	}
+	c.Add(d)
+}
+
+// Keys returns the keys in ascending order.
+func (p *PerKeyCDF) Keys() []int {
+	keys := make([]int, 0, len(p.cdfs))
+	for k := range p.cdfs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Get returns the CDF for key (nil if absent).
+func (p *PerKeyCDF) Get(key int) *CDF { return p.cdfs[key] }
+
+// Percentile returns the p-th percentile for key, 0 if the key is absent.
+func (p *PerKeyCDF) Percentile(key int, pct float64) time.Duration {
+	c, ok := p.cdfs[key]
+	if !ok {
+		return 0
+	}
+	return c.Percentile(pct)
+}

@@ -1,0 +1,56 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"github.com/coda-repro/coda/internal/perfmodel"
+)
+
+// ExampleModel_OptimalCores shows the per-model optimal core counts the
+// adaptive allocator searches for (Fig. 5).
+func ExampleModel_OptimalCores() {
+	m, err := perfmodel.Lookup("alexnet")
+	if err != nil {
+		panic(err)
+	}
+	oneGPU, _ := m.OptimalCores(perfmodel.Config{Nodes: 1, GPUs: 1}, 0)
+	fourGPU, _ := m.OptimalCores(perfmodel.Config{Nodes: 1, GPUs: 4}, 0)
+	multiNode, _ := m.OptimalCores(perfmodel.Config{Nodes: 2, GPUs: 8}, 0)
+	fmt.Printf("alexnet optimal cores: 1N1G=%d 1N4G=%d 2N8G=%d\n", oneGPU, fourGPU, multiNode)
+	// Output:
+	// alexnet optimal cores: 1N1G=6 1N4G=16 2N8G=2
+}
+
+// ExampleModel_Speed shows the core-starvation penalty Fig. 3 plots: a
+// 2-core alexnet run is over 5x slower than its optimum.
+func ExampleModel_Speed() {
+	m, err := perfmodel.Lookup("alexnet")
+	if err != nil {
+		panic(err)
+	}
+	cfg := perfmodel.Config{Nodes: 1, GPUs: 1}
+	starved, _ := m.Speed(cfg, 0, 2, perfmodel.Contention{})
+	optimal, _ := m.Speed(cfg, 0, 6, perfmodel.Contention{})
+	fmt.Printf("starved/optimal speed ratio: %.2f\n", starved/optimal)
+	// Output:
+	// starved/optimal speed ratio: 0.17
+}
+
+// ExampleModel_BandwidthDemand shows Fig. 6's anti-correlation between CV
+// model complexity and memory-bandwidth demand.
+func ExampleModel_BandwidthDemand() {
+	cfg := perfmodel.Config{Nodes: 1, GPUs: 1}
+	for _, name := range []string{"alexnet", "vgg16", "inception3"} {
+		m, err := perfmodel.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		opt, _ := m.OptimalCores(cfg, 0)
+		bw, _ := m.BandwidthDemand(cfg, 0, opt)
+		fmt.Printf("%s: %.0f GB/s\n", name, bw)
+	}
+	// Output:
+	// alexnet: 12 GB/s
+	// vgg16: 6 GB/s
+	// inception3: 4 GB/s
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"container/list"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+// FIFO is the first-in-first-out policy of the paper's production cluster
+// (SLURM, §III-A). A single queue serves both CPU and GPU jobs in arrival
+// order; jobs that do not fit are skipped so later arrivals that do fit can
+// start — the observed production behaviour (87.4% of CPU jobs start
+// within 10 s under FIFO, §VI-C, which strict head-of-line blocking could
+// never deliver). Jobs still start in arrival order whenever resources
+// allow, and nothing reorders the queue.
+type FIFO struct {
+	env   Env
+	queue *list.List // of *job.Job
+	// Window bounds how deep each pass scans (SLURM's default backfill
+	// depth is similarly bounded); 0 means the whole queue.
+	Window int
+	// ReserveDepth is how many unplaceable GPU jobs get node reservations
+	// per pass, modeling SLURM backfill's future-slot holds: the held
+	// nodes' free resources sit idle — the fragmentation §VI-C measures.
+	ReserveDepth int
+}
+
+// DefaultReserveDepth mirrors a bounded backfill test depth.
+const DefaultReserveDepth = 16
+
+var _ Scheduler = (*FIFO)(nil)
+
+// NewFIFO builds the FIFO baseline.
+func NewFIFO() *FIFO {
+	return &FIFO{queue: list.New()}
+}
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Bind implements Scheduler.
+func (f *FIFO) Bind(env Env) { f.env = env }
+
+// Submit implements Scheduler.
+func (f *FIFO) Submit(j *job.Job) {
+	f.queue.PushBack(j)
+	f.drain()
+}
+
+// OnJobCompleted implements Scheduler.
+func (f *FIFO) OnJobCompleted(*job.Job) { f.drain() }
+
+// Tick implements Scheduler.
+func (f *FIFO) Tick() { f.drain() }
+
+// drain walks the queue in arrival order, starting every job that fits.
+// Unplaceable GPU jobs near the front get node reservations (up to
+// ReserveDepth) that later jobs must not touch, like SLURM's backfill
+// holding future slots for waiting jobs.
+func (f *FIFO) drain() {
+	reserved := make(map[int]bool)
+	var failed failedSet
+	reservations := 0
+	scanned := 0
+	for elem := f.queue.Front(); elem != nil; {
+		if f.Window > 0 && scanned >= f.Window {
+			return
+		}
+		scanned++
+		next := elem.Next()
+		j, ok := elem.Value.(*job.Job)
+		if !ok {
+			// Impossible by construction; drop the corrupt entry.
+			f.queue.Remove(elem)
+			elem = next
+			continue
+		}
+		if failed.covered(j.Request) {
+			// A smaller request already failed this pass; placements only
+			// shrink within a pass, so this one cannot fit either.
+			elem = next
+			continue
+		}
+		if alloc, found := PlaceRequestExcluding(f.env.Cluster(), j.Request, false, reserved); found {
+			if err := f.env.StartJob(j.ID, alloc); err == nil {
+				f.queue.Remove(elem)
+			}
+		} else {
+			failed.add(j.Request)
+			if j.IsGPU() && reservations < f.ReserveDepth {
+				for _, nid := range ReserveNodes(f.env.Cluster(), j.Request, reserved) {
+					reserved[nid] = true
+				}
+				reservations++
+			}
+		}
+		elem = next
+	}
+}
+
+// QueueLen reports the pending job count (for tests and metrics).
+func (f *FIFO) QueueLen() int { return f.queue.Len() }

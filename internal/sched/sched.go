@@ -1,0 +1,178 @@
+// Package sched defines the scheduler interface the simulator drives, the
+// environment handle schedulers act through, and the two baseline policies
+// the paper compares CODA against: FIFO (SLURM's default on the studied
+// cluster, §III-A) and DRF with GPU as the dominant resource (§VI-A).
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"github.com/coda-repro/coda/internal/cluster"
+	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/membw"
+)
+
+// Env is the cluster-control surface a scheduler acts through. The
+// simulator implements it; every mutation flows through Env so the
+// simulator can keep job progress, bandwidth accounting and metrics
+// consistent.
+type Env interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Cluster exposes resource occupancy for placement queries. Schedulers
+	// must mutate it only through StartJob/ResizeJob/PreemptJob.
+	Cluster() *cluster.Cluster
+	// Meter returns the MBM meter of one node for contention monitoring.
+	Meter(nodeID int) (*membw.Meter, error)
+	// StartJob places a pending job onto the cluster and starts it.
+	StartJob(id job.ID, alloc job.Allocation) error
+	// ResizeJob changes a running job's per-node core count.
+	ResizeJob(id job.ID, coresPerNode int) error
+	// PreemptJob aborts a running CPU job, releasing its resources, and
+	// returns a clone carrying the remaining work. The scheduler decides
+	// where to requeue it (CODA puts it at the array head, §V-C).
+	PreemptJob(id job.ID) (*job.Job, error)
+	// ThrottleJob applies an MBA bandwidth cap to a running CPU job.
+	ThrottleJob(id job.ID, capGBs float64) error
+	// UnthrottleJob removes a job's bandwidth cap.
+	UnthrottleJob(id job.ID) error
+	// GPUUtil returns the currently observed GPU utilization of a running
+	// training job, including measurement noise — the only performance
+	// signal CODA's allocator gets (§V-B).
+	GPUUtil(id job.ID) (float64, error)
+}
+
+// Scheduler is a cluster scheduling policy.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Bind attaches the environment; called once before any other method.
+	Bind(env Env)
+	// Submit enqueues a newly arrived (or requeued preempted) job.
+	Submit(j *job.Job)
+	// OnJobCompleted notifies that a job finished and its resources were
+	// already released.
+	OnJobCompleted(j *job.Job)
+	// Tick runs periodic policy work (scheduling passes, profiling steps,
+	// contention checks). The simulator calls it after every arrival and
+	// completion batch and on a fixed cadence.
+	Tick()
+}
+
+// PlaceRequest finds nodes for a resource request: req.Nodes nodes that
+// each fit req.CPUCores cores (per node) and the per-node GPU share.
+// bestFit packs loaded nodes first to limit fragmentation. The returned
+// allocation is not yet applied.
+func PlaceRequest(c *cluster.Cluster, req job.Request, bestFit bool) (job.Allocation, bool) {
+	return PlaceRequestExcluding(c, req, bestFit, nil)
+}
+
+// PlaceRequestExcluding is PlaceRequest with a set of excluded node IDs
+// (nodes reserved for other queued jobs).
+func PlaceRequestExcluding(c *cluster.Cluster, req job.Request, bestFit bool, excluded map[int]bool) (job.Allocation, bool) {
+	gpus := req.GPUsPerNode()
+	var candidates []*cluster.Node
+	for _, n := range c.Nodes() {
+		if excluded[n.ID] || !n.Fits(req.CPUCores, gpus) {
+			continue
+		}
+		candidates = append(candidates, n)
+	}
+	if len(candidates) < req.Nodes {
+		return job.Allocation{}, false
+	}
+	if bestFit {
+		sort.SliceStable(candidates, func(i, j int) bool {
+			a, b := candidates[i], candidates[j]
+			if a.FreeGPUs() != b.FreeGPUs() {
+				return a.FreeGPUs() < b.FreeGPUs()
+			}
+			return a.FreeCores() < b.FreeCores()
+		})
+	}
+	nodes := make([]int, 0, req.Nodes)
+	for _, n := range candidates[:req.Nodes] {
+		nodes = append(nodes, n.ID)
+	}
+	return job.Allocation{
+		NodeIDs:  nodes,
+		CPUCores: req.CPUCores,
+		GPUs:     gpus,
+	}, true
+}
+
+// failedSet prunes placement scans: once a request fails to place in a
+// pass, any request that dominates it (needs at least as many per-node
+// cores, per-node GPUs and nodes) cannot place either and is skipped
+// without touching the cluster. Keeps long queues scannable at month
+// scale.
+type failedSet struct {
+	entries []job.Request
+}
+
+// dominates reports whether request a needs at least as much of every
+// dimension as b.
+func dominates(a, b job.Request) bool {
+	return a.CPUCores >= b.CPUCores &&
+		a.GPUsPerNode() >= b.GPUsPerNode() &&
+		a.Nodes >= b.Nodes
+}
+
+// covered reports whether req is doomed given the recorded failures.
+func (f *failedSet) covered(req job.Request) bool {
+	for _, e := range f.entries {
+		if dominates(req, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// add records a failed request, keeping only minimal elements.
+func (f *failedSet) add(req job.Request) {
+	kept := f.entries[:0]
+	for _, e := range f.entries {
+		if dominates(e, req) {
+			continue // req is smaller: e is now redundant
+		}
+		kept = append(kept, e)
+	}
+	f.entries = append(kept, req)
+}
+
+// ReserveNodes picks nodes to hold for an unplaceable job, SLURM-backfill
+// style: the job's per-node share will soonest fit on the nodes with the
+// most free GPUs (and enough total GPUs), so those are held idle until the
+// job starts. Already-excluded nodes are skipped. Returns nil when no node
+// is a sensible hold (e.g. the request exceeds every node's shape).
+func ReserveNodes(c *cluster.Cluster, req job.Request, excluded map[int]bool) []int {
+	type cand struct{ nid, freeGPUs, freeCores int }
+	var cands []cand
+	for _, n := range c.Nodes() {
+		if excluded[n.ID] {
+			continue
+		}
+		if n.GPUs < req.GPUsPerNode() || n.Cores < req.CPUCores {
+			continue // can never host the share
+		}
+		cands = append(cands, cand{nid: n.ID, freeGPUs: n.FreeGPUs(), freeCores: n.FreeCores()})
+	}
+	if len(cands) < req.Nodes {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].freeGPUs != cands[j].freeGPUs {
+			return cands[i].freeGPUs > cands[j].freeGPUs
+		}
+		if cands[i].freeCores != cands[j].freeCores {
+			return cands[i].freeCores > cands[j].freeCores
+		}
+		return cands[i].nid < cands[j].nid
+	})
+	nodes := make([]int, 0, req.Nodes)
+	for _, c := range cands[:req.Nodes] {
+		nodes = append(nodes, c.nid)
+	}
+	return nodes
+}

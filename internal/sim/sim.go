@@ -1,0 +1,479 @@
+// Package sim is the deterministic discrete-event simulator that stands in
+// for the paper's physical 80-node GPU cluster. It owns virtual time, job
+// arrival/completion events, job progress integration (work advances at
+// the speed the perfmodel package dictates for the current allocation and
+// contention), memory-bandwidth and PCIe accounting, and metric sampling.
+// Schedulers act on the cluster exclusively through the sched.Env interface
+// this package implements, so FIFO, DRF and CODA run under identical
+// physics.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/coda-repro/coda/internal/cluster"
+	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/membw"
+	"github.com/coda-repro/coda/internal/perfmodel"
+	"github.com/coda-repro/coda/internal/sched"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Cluster describes the hardware.
+	Cluster cluster.Config
+	// MBASupported controls whether nodes offer MBA throttling (§V-D's
+	// fallback path halves CPU-job cores when false).
+	MBASupported bool
+	// TickInterval is the scheduler's periodic invocation cadence.
+	TickInterval time.Duration
+	// SampleInterval is the metrics sampling cadence.
+	SampleInterval time.Duration
+	// UtilNoise is the relative amplitude of GPU-utilization measurement
+	// noise (the allocator must tolerate it, §V-B2).
+	UtilNoise float64
+	// Seed drives the measurement-noise generator.
+	Seed int64
+	// MaxVirtualTime aborts runaway simulations; 0 means no cap.
+	MaxVirtualTime time.Duration
+}
+
+// DefaultOptions returns the standard run configuration.
+func DefaultOptions() Options {
+	return Options{
+		Cluster:        cluster.DefaultConfig(),
+		MBASupported:   true,
+		TickInterval:   30 * time.Second,
+		SampleInterval: 5 * time.Minute,
+		UtilNoise:      0.005,
+		Seed:           7,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Cluster.Validate(); err != nil {
+		return err
+	}
+	if o.TickInterval <= 0 {
+		return fmt.Errorf("sim options: tick interval must be positive, got %v", o.TickInterval)
+	}
+	if o.SampleInterval <= 0 {
+		return fmt.Errorf("sim options: sample interval must be positive, got %v", o.SampleInterval)
+	}
+	if o.UtilNoise < 0 || o.UtilNoise >= 0.5 {
+		return fmt.Errorf("sim options: util noise %g out of [0, 0.5)", o.UtilNoise)
+	}
+	if o.MaxVirtualTime < 0 {
+		return fmt.Errorf("sim options: negative max virtual time %v", o.MaxVirtualTime)
+	}
+	return nil
+}
+
+// eventKind enumerates simulator events.
+type eventKind int
+
+const (
+	evArrival eventKind = iota + 1
+	evCompletion
+	evTick
+	evSample
+)
+
+// event is one heap entry. seq breaks time ties deterministically in
+// insertion order.
+type event struct {
+	at      time.Duration
+	seq     int64
+	kind    eventKind
+	job     *job.Job // arrivals
+	jobID   job.ID   // completions
+	version int64    // completions: must match the running job's version
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// runningJob is the live state of a started job.
+type runningJob struct {
+	job   *job.Job
+	model *perfmodel.Model // nil for CPU jobs
+	alloc job.Allocation
+	// remaining is work left, measured in time-at-full-speed.
+	remaining time.Duration
+	// speed is the current progress rate in (0, 1].
+	speed float64
+	// lastUpdate is when remaining was last integrated.
+	lastUpdate time.Duration
+	// version invalidates stale completion events after speed changes.
+	version int64
+	// startedAt is when this (possibly re-queued) run began.
+	startedAt time.Duration
+	// bwDemand is the job's current per-node unthrottled bandwidth demand.
+	bwDemand float64
+}
+
+// cfg returns the job's training configuration.
+func (r *runningJob) cfg() perfmodel.Config {
+	return perfmodel.Config{
+		Nodes: len(r.alloc.NodeIDs),
+		GPUs:  r.alloc.GPUs * len(r.alloc.NodeIDs),
+	}
+}
+
+// minSpeed floors progress so completion events always exist.
+const minSpeed = 0.01
+
+// Simulator drives one scheduler over one trace.
+type Simulator struct {
+	opts      Options
+	cluster   *cluster.Cluster
+	monitor   *membw.Monitor
+	scheduler sched.Scheduler
+	rng       *rand.Rand
+
+	now    time.Duration
+	events eventHeap
+	seq    int64
+
+	pending map[job.ID]*job.Job
+	running map[job.ID]*runningJob
+	// pcieLoad is the per-node sum of GPU-job PCIe demands.
+	pcieLoad []float64
+
+	arrivalsLeft int
+	lastArrival  time.Duration
+	stallCount   int
+
+	results *Result
+}
+
+// New builds a simulator for the scheduler and trace.
+func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if scheduler == nil {
+		return nil, errors.New("sim: scheduler is nil")
+	}
+	c, err := cluster.New(opts.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := membw.NewMonitor(opts.Cluster.TotalNodes(), opts.Cluster.BandwidthGBs, opts.MBASupported)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		opts:      opts,
+		cluster:   c,
+		monitor:   mon,
+		scheduler: scheduler,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		pending:   make(map[job.ID]*job.Job),
+		running:   make(map[job.ID]*runningJob),
+		pcieLoad:  make([]float64, opts.Cluster.TotalNodes()),
+		results:   newResult(scheduler.Name()),
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.push(&event{at: j.Arrival, kind: evArrival, job: j})
+		if j.Arrival > s.lastArrival {
+			s.lastArrival = j.Arrival
+		}
+		s.arrivalsLeft++
+	}
+	s.results.LastArrival = s.lastArrival
+	scheduler.Bind(s)
+	return s, nil
+}
+
+func (s *Simulator) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// idle reports whether nothing remains to simulate.
+func (s *Simulator) idle() bool {
+	return s.arrivalsLeft == 0 && len(s.pending) == 0 && len(s.running) == 0
+}
+
+// stallTicks is how many consecutive no-progress ticks (with nothing
+// running and no arrivals left) the simulator tolerates before declaring
+// the pending jobs permanently unplaceable. The grace period lets stateful
+// schedulers that defer work across ticks (e.g. requeue-after-preempt) act.
+const stallTicks = 10
+
+// stalled reports a permanent wedge: jobs pend, but no arrivals remain,
+// nothing runs, and stallTicks consecutive ticks started nothing.
+func (s *Simulator) stalled() bool {
+	if s.arrivalsLeft != 0 || len(s.running) != 0 || len(s.pending) == 0 {
+		s.stallCount = 0
+		return false
+	}
+	s.stallCount++
+	return s.stallCount >= stallTicks
+}
+
+// maxEvents bounds runaway simulations (well above any legitimate run).
+const maxEvents = 200_000_000
+
+// Run executes the simulation to completion and returns the results.
+func (s *Simulator) Run() (*Result, error) {
+	if s.opts.TickInterval > 0 {
+		s.push(&event{at: s.opts.TickInterval, kind: evTick})
+	}
+	s.push(&event{at: 0, kind: evSample})
+
+	for steps := 0; s.events.Len() > 0; steps++ {
+		if steps > maxEvents {
+			return nil, fmt.Errorf("sim: exceeded %d events at t=%v (scheduler wedged?)", maxEvents, s.now)
+		}
+		e, ok := heap.Pop(&s.events).(*event)
+		if !ok {
+			return nil, errors.New("sim: corrupt event heap")
+		}
+		if s.opts.MaxVirtualTime > 0 && e.at > s.opts.MaxVirtualTime {
+			break
+		}
+		s.now = e.at
+
+		switch e.kind {
+		case evArrival:
+			s.handleArrival(e.job)
+		case evCompletion:
+			s.handleCompletion(e.jobID, e.version)
+		case evTick:
+			s.scheduler.Tick()
+			if s.stalled() {
+				// No arrivals remain, nothing runs, and the tick started
+				// nothing: the pending jobs are unplaceable and no future
+				// event can change that. Stop instead of spinning forever.
+				s.finalize()
+				return s.results, nil
+			}
+			if !s.idle() {
+				s.push(&event{at: s.now + s.opts.TickInterval, kind: evTick})
+			}
+		case evSample:
+			s.sample()
+			if !s.idle() {
+				s.push(&event{at: s.now + s.opts.SampleInterval, kind: evSample})
+			}
+		}
+		if s.idle() {
+			break
+		}
+	}
+	s.finalize()
+	return s.results, nil
+}
+
+func (s *Simulator) handleArrival(j *job.Job) {
+	s.arrivalsLeft--
+	s.pending[j.ID] = j
+	s.results.noteArrival(j)
+	s.scheduler.Submit(j)
+}
+
+func (s *Simulator) handleCompletion(id job.ID, version int64) {
+	r, ok := s.running[id]
+	if !ok || r.version != version {
+		return // stale event
+	}
+	s.advance(r)
+	if r.remaining > time.Millisecond {
+		// Numerical drift: reschedule instead of completing early.
+		s.scheduleCompletion(r)
+		return
+	}
+	s.stopJob(r)
+	s.results.noteCompletion(r, s.now)
+	s.scheduler.OnJobCompleted(r.job)
+}
+
+// stopJob releases a running job's resources and refreshes neighbours.
+func (s *Simulator) stopJob(r *runningJob) {
+	id := r.job.ID
+	if err := s.cluster.Release(id); err != nil {
+		panic(fmt.Sprintf("sim: release job %d: %v", id, err))
+	}
+	for _, nid := range r.alloc.NodeIDs {
+		meter, err := s.monitor.Node(nid)
+		if err == nil {
+			_ = meter.Deregister(id)
+		}
+		if r.model != nil {
+			pcie, perr := r.model.PCIeDemand(r.cfg())
+			if perr == nil {
+				s.pcieLoad[nid] -= pcie
+				if s.pcieLoad[nid] < 0 {
+					s.pcieLoad[nid] = 0
+				}
+			}
+		}
+	}
+	delete(s.running, id)
+	r.version++ // kill outstanding completion events
+	s.refreshNodes(r.alloc.NodeIDs)
+}
+
+// advance integrates a job's progress up to now.
+func (s *Simulator) advance(r *runningJob) {
+	dt := s.now - r.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	r.remaining -= time.Duration(float64(dt) * r.speed)
+	if r.remaining < 0 {
+		r.remaining = 0
+	}
+	r.lastUpdate = s.now
+}
+
+// scheduleCompletion queues the job's (re)computed completion event.
+func (s *Simulator) scheduleCompletion(r *runningJob) {
+	r.version++
+	eta := time.Duration(float64(r.remaining) / r.speed)
+	s.push(&event{
+		at:      s.now + eta,
+		kind:    evCompletion,
+		jobID:   r.job.ID,
+		version: r.version,
+	})
+}
+
+// contentionAt computes the shared-resource pressure on one node.
+func (s *Simulator) contentionAt(nodeID int) perfmodel.Contention {
+	meter, err := s.monitor.Node(nodeID)
+	if err != nil {
+		return perfmodel.Contention{}
+	}
+	n, err := s.cluster.Node(nodeID)
+	pcieUtil, llc := 0.0, 0.0
+	if err == nil {
+		if n.PCIeGBs > 0 {
+			pcieUtil = s.pcieLoad[nodeID] / n.PCIeGBs
+		}
+		// CPU jobs occupy last-level cache roughly in proportion to the
+		// cores they run on. Fig. 7 shows every model shrugging this off;
+		// modeling it keeps that claim testable end to end.
+		cpuCores := 0
+		for _, id := range n.Jobs() {
+			if r, ok := s.running[id]; ok && !r.job.IsGPU() {
+				if c, _, ok := n.JobShare(id); ok {
+					cpuCores += c
+				}
+			}
+		}
+		if n.Cores > 0 {
+			llc = float64(cpuCores) / float64(n.Cores)
+		}
+	}
+	return perfmodel.Contention{
+		BandwidthUtil: meter.Utilization(),
+		LLCPressure:   llc,
+		PCIeUtil:      pcieUtil,
+	}
+}
+
+// worstContention returns the max-pressure view across a job's nodes
+// (gradient synchronization waits for the slowest worker).
+func (s *Simulator) worstContention(nodeIDs []int) perfmodel.Contention {
+	var worst perfmodel.Contention
+	for _, nid := range nodeIDs {
+		c := s.contentionAt(nid)
+		if c.BandwidthUtil > worst.BandwidthUtil {
+			worst.BandwidthUtil = c.BandwidthUtil
+		}
+		if c.LLCPressure > worst.LLCPressure {
+			worst.LLCPressure = c.LLCPressure
+		}
+		if c.PCIeUtil > worst.PCIeUtil {
+			worst.PCIeUtil = c.PCIeUtil
+		}
+	}
+	return worst
+}
+
+// computeSpeed returns the job's progress rate at the current allocation
+// and contention.
+func (s *Simulator) computeSpeed(r *runningJob) float64 {
+	if r.model != nil {
+		speed, err := r.model.Speed(r.cfg(), r.job.BatchSize, r.alloc.CPUCores, s.worstContention(r.alloc.NodeIDs))
+		if err != nil || speed < minSpeed {
+			return minSpeed
+		}
+		return speed
+	}
+	// CPU jobs: slowed by bandwidth throttling and by core shrinkage.
+	speed := 1.0
+	if r.job.Bandwidth > 0 {
+		meter, err := s.monitor.Node(r.alloc.NodeIDs[0])
+		if err == nil {
+			if eff, err := meter.JobBandwidth(r.job.ID); err == nil && r.bwDemand > 0 {
+				speed *= eff / r.bwDemand
+			}
+		}
+	}
+	if req := r.job.Request.CPUCores; req > 0 && r.alloc.CPUCores < req {
+		speed *= float64(r.alloc.CPUCores) / float64(req)
+	}
+	if speed < minSpeed {
+		return minSpeed
+	}
+	return speed
+}
+
+// refreshNodes re-evaluates the speed of every job touching the nodes and
+// reschedules their completions when the speed changed.
+func (s *Simulator) refreshNodes(nodeIDs []int) {
+	seen := make(map[job.ID]bool)
+	for _, nid := range nodeIDs {
+		n, err := s.cluster.Node(nid)
+		if err != nil {
+			continue
+		}
+		for _, id := range n.Jobs() {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			r, ok := s.running[id]
+			if !ok {
+				continue
+			}
+			s.advance(r)
+			newSpeed := s.computeSpeed(r)
+			if newSpeed != r.speed {
+				r.speed = newSpeed
+				s.scheduleCompletion(r)
+			}
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package trace generates and serializes synthetic job traces matching the
+// statistics the paper reports for its production cluster (§III, §VI-A):
+// 100,000 jobs per month (75,000 CPU jobs, 25,000 DNN training jobs),
+// diurnal CPU-job burstiness (Fig. 1), a requested-core distribution where
+// 76.1% of GPU jobs ask for 1-2 cores and 15.3% ask for more than 10
+// (Fig. 2d), mostly-NLP/Speech training jobs, 20 tenants with skewed
+// submission counts (Fig. 12), and GPU-job runtimes where 68.5% exceed one
+// hour and 39.6% exceed two (§VI-F). A fraction of CPU jobs are
+// memory-bandwidth hogs standing in for the paper's HEAT benchmark (§VI-E
+// evaluates with 0.5% bandwidth-intensive CPU jobs).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/perfmodel"
+)
+
+// Tenant roles (Fig. 2a: the research lab submits most GPU jobs, the AI
+// companies most CPU jobs; §VI-C: users 15-20 submit only CPU jobs).
+const (
+	// NumTenants is the tenant count of Fig. 12.
+	NumTenants = 20
+	// FirstCPUOnlyTenant is the first tenant that submits only CPU jobs.
+	FirstCPUOnlyTenant = 15
+)
+
+// Config parameterizes trace generation. The zero value is invalid; start
+// from DefaultConfig.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Duration is the trace span (the paper uses one month).
+	Duration time.Duration
+	// CPUJobs and GPUJobs are the job counts.
+	CPUJobs, GPUJobs int
+	// HogFraction is the fraction of CPU jobs that are bandwidth hogs.
+	HogFraction float64
+	// DiurnalAmplitude in [0,1) shapes CPU-job arrival burstiness: 0 is a
+	// flat rate; 0.9 concentrates arrivals around the daily peak.
+	DiurnalAmplitude float64
+	// GPUDiurnalAmplitude in [0,1) shapes GPU-job arrival burstiness (the
+	// research lab submits during working hours; milder than CPU jobs'
+	// user-facing burstiness).
+	GPUDiurnalAmplitude float64
+	// WeekendFactor in (0,1] scales arrival density on days 6 and 7 of
+	// each week (Fig. 1 spans a week of a working cluster; weekends are
+	// quieter). 1 disables the effect.
+	WeekendFactor float64
+	// UnderRequestFraction, MidRequestFraction, OverRequestFraction slice
+	// GPU jobs into 1-2 core requesters, 3-10 core requesters and >10 core
+	// requesters (must sum to 1).
+	UnderRequestFraction, MidRequestFraction, OverRequestFraction float64
+	// MaxBatchFraction is the fraction of training jobs using the model's
+	// maximum batch size.
+	MaxBatchFraction float64
+	// NoCategoryFraction is the fraction of training jobs whose owner
+	// discloses nothing (§V-B1 worst case).
+	NoCategoryFraction float64
+	// HintsFraction is the fraction of category-disclosing jobs that also
+	// provide the optional hints.
+	HintsFraction float64
+	// MaxRequestCores caps per-node core requests at the node size so every
+	// generated job is placeable on an empty node.
+	MaxRequestCores int
+}
+
+// DefaultConfig reproduces the paper's one-month trace shape.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		Duration:             30 * 24 * time.Hour,
+		CPUJobs:              75000,
+		GPUJobs:              25000,
+		HogFraction:          0.005,
+		DiurnalAmplitude:     0.7,
+		GPUDiurnalAmplitude:  0.30,
+		WeekendFactor:        0.75,
+		UnderRequestFraction: 0.761,
+		MidRequestFraction:   0.086,
+		OverRequestFraction:  0.153,
+		MaxBatchFraction:     0.2,
+		NoCategoryFraction:   0.15,
+		HintsFraction:        0.4,
+		MaxRequestCores:      28,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace config: duration must be positive, got %v", c.Duration)
+	}
+	if c.CPUJobs < 0 || c.GPUJobs < 0 {
+		return fmt.Errorf("trace config: negative job counts (%d cpu, %d gpu)", c.CPUJobs, c.GPUJobs)
+	}
+	if c.CPUJobs+c.GPUJobs == 0 {
+		return fmt.Errorf("trace config: no jobs requested")
+	}
+	if c.HogFraction < 0 || c.HogFraction > 1 {
+		return fmt.Errorf("trace config: hog fraction %g out of [0,1]", c.HogFraction)
+	}
+	if c.DiurnalAmplitude < 0 || c.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("trace config: diurnal amplitude %g out of [0,1)", c.DiurnalAmplitude)
+	}
+	if c.GPUDiurnalAmplitude < 0 || c.GPUDiurnalAmplitude >= 1 {
+		return fmt.Errorf("trace config: gpu diurnal amplitude %g out of [0,1)", c.GPUDiurnalAmplitude)
+	}
+	if c.WeekendFactor <= 0 || c.WeekendFactor > 1 {
+		return fmt.Errorf("trace config: weekend factor %g out of (0,1]", c.WeekendFactor)
+	}
+	sum := c.UnderRequestFraction + c.MidRequestFraction + c.OverRequestFraction
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("trace config: request fractions sum to %g, want 1", sum)
+	}
+	for _, f := range []float64{c.MaxBatchFraction, c.NoCategoryFraction, c.HintsFraction} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("trace config: fraction %g out of [0,1]", f)
+		}
+	}
+	if c.MaxRequestCores < 2 {
+		return fmt.Errorf("trace config: max request cores must be >= 2, got %d", c.MaxRequestCores)
+	}
+	return nil
+}
+
+// modelMix weights the training-job model distribution: "Most of the GPU
+// jobs are training NLP and SPEECH models" (§VI-A).
+var modelMix = []struct {
+	name   string
+	weight float64
+}{
+	{"bat", 0.17},
+	{"transformer", 0.20},
+	{"wavenet", 0.15},
+	{"deepspeech", 0.18},
+	{"alexnet", 0.07},
+	{"vgg16", 0.07},
+	{"inception3", 0.08},
+	{"resnet50", 0.08},
+}
+
+// configMix weights the training configurations.
+var configMix = []struct {
+	nodes, gpus int
+	weight      float64
+}{
+	{1, 1, 0.48},
+	{1, 2, 0.25},
+	{1, 4, 0.17},
+	{2, 8, 0.10},
+}
+
+// tenantGPUWeights skews GPU-job submissions: tenant 1 is the research lab
+// (Fig. 2a) and dominates; tenants 15-20 never submit GPU jobs.
+func tenantGPUWeights() []float64 {
+	w := make([]float64, NumTenants)
+	for i := 1; i <= NumTenants; i++ {
+		if i >= FirstCPUOnlyTenant {
+			continue
+		}
+		// Zipf-like decay over the GPU-submitting tenants.
+		w[i-1] = 1 / math.Pow(float64(i), 0.8)
+	}
+	return w
+}
+
+// tenantCPUWeights skews CPU-job submissions toward the AI companies.
+func tenantCPUWeights() []float64 {
+	w := make([]float64, NumTenants)
+	for i := 1; i <= NumTenants; i++ {
+		// Companies (higher IDs) submit relatively more CPU work.
+		w[i-1] = 0.4 + 0.6*float64(i)/NumTenants
+	}
+	return w
+}
+
+// pick samples an index from weights.
+func pick(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// diurnalArrival samples an arrival time whose daily profile follows
+// 1 + amplitude*sin(2π(t/day - 1/4)) — peaking at midday — scaled by
+// weekendFactor on days 6-7 of each week, via rejection sampling
+// (Fig. 1's CPU activity pattern).
+func diurnalArrival(rng *rand.Rand, duration time.Duration, amplitude, weekendFactor float64) time.Duration {
+	if amplitude == 0 && weekendFactor >= 1 {
+		return time.Duration(rng.Int63n(int64(duration)))
+	}
+	day := float64(24 * time.Hour)
+	for {
+		t := rng.Float64() * float64(duration)
+		phase := t/day - 0.25
+		density := (1 + amplitude*math.Sin(2*math.Pi*phase)) / (1 + amplitude)
+		if dayOfWeek := int(t/day) % 7; dayOfWeek >= 5 {
+			density *= weekendFactor
+		}
+		if rng.Float64() <= density {
+			return time.Duration(t)
+		}
+	}
+}
+
+// gpuRuntime samples a training-job runtime matching §VI-F: 31.5% under an
+// hour, 28.9% in one to two hours, 39.6% above two hours.
+func gpuRuntime(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	logUniform := func(lo, hi time.Duration) time.Duration {
+		l, h := math.Log(float64(lo)), math.Log(float64(hi))
+		return time.Duration(math.Exp(l + rng.Float64()*(h-l)))
+	}
+	switch {
+	case u < 0.315:
+		return logUniform(6*time.Minute, time.Hour)
+	case u < 0.315+0.289:
+		return logUniform(time.Hour, 2*time.Hour)
+	default:
+		return logUniform(2*time.Hour, 12*time.Hour)
+	}
+}
+
+// cpuRuntime samples a CPU-job runtime. The paper's CPU jobs are inference
+// services and auxiliary processing whose load saturates the cluster's CPUs
+// at the daily peak (Fig. 1 shows the CPU active rate reaching 100%), so
+// they run minutes to hours, not seconds.
+func cpuRuntime(rng *rand.Rand) time.Duration {
+	l, h := math.Log(float64(10*time.Minute)), math.Log(float64(4*time.Hour))
+	return time.Duration(math.Exp(l + rng.Float64()*(h-l)))
+}
+
+// requestedCores samples the owner's per-node core request for a training
+// job with the given per-node GPU count, following Fig. 2d's three bands.
+// Requests are clamped to the node size so every job is placeable.
+func requestedCores(rng *rand.Rand, cfg Config, gpusPerNode int) int {
+	u := rng.Float64()
+	var cores int
+	switch {
+	case u < cfg.UnderRequestFraction:
+		cores = 1 + rng.Intn(2) // 1-2 cores
+	case u < cfg.UnderRequestFraction+cfg.MidRequestFraction:
+		cores = 3 + rng.Intn(8) // 3-10 cores
+	default:
+		// Over-requesters scale their excess with the job size.
+		cores = 11 + rng.Intn(8) + 2*gpusPerNode
+	}
+	if cores > cfg.MaxRequestCores {
+		cores = cfg.MaxRequestCores
+	}
+	return cores
+}
+
+// Generate builds a deterministic synthetic trace. Jobs are returned sorted
+// by arrival time with IDs assigned in arrival order.
+func Generate(cfg Config) ([]*job.Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]*job.Job, 0, cfg.CPUJobs+cfg.GPUJobs)
+
+	gpuWeights := tenantGPUWeights()
+	cpuWeights := tenantCPUWeights()
+
+	modelWeights := make([]float64, len(modelMix))
+	for i, m := range modelMix {
+		modelWeights[i] = m.weight
+	}
+	configWeights := make([]float64, len(configMix))
+	for i, c := range configMix {
+		configWeights[i] = c.weight
+	}
+
+	for i := 0; i < cfg.GPUJobs; i++ {
+		mi := pick(rng, modelWeights)
+		model, err := perfmodel.Lookup(modelMix[mi].name)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		ci := pick(rng, configWeights)
+		nodes, gpus := configMix[ci].nodes, configMix[ci].gpus
+
+		batch := model.DefaultBatch
+		if rng.Float64() < cfg.MaxBatchFraction {
+			batch = model.MaxBatch
+		}
+		category := model.Category
+		var hints job.Hints
+		if rng.Float64() < cfg.NoCategoryFraction {
+			category = job.CategoryNone
+		} else if rng.Float64() < cfg.HintsFraction {
+			hints = job.Hints{
+				HasPipeline:       rng.Float64() < 0.5,
+				LargeWeights:      model.Name == "vgg16" || model.Name == "transformer",
+				ComplexPreprocess: model.Category == job.CategoryNLP,
+			}
+		}
+
+		j := &job.Job{
+			Kind:      job.KindGPUTraining,
+			Tenant:    job.TenantID(pick(rng, gpuWeights) + 1),
+			Category:  category,
+			Model:     model.Name,
+			BatchSize: batch,
+			Hints:     hints,
+			Request: job.Request{
+				CPUCores: requestedCores(rng, cfg, gpus/nodes),
+				GPUs:     gpus,
+				Nodes:    nodes,
+			},
+			Arrival: diurnalArrival(rng, cfg.Duration, cfg.GPUDiurnalAmplitude, cfg.WeekendFactor),
+			Work:    gpuRuntime(rng),
+		}
+		jobs = append(jobs, j)
+	}
+
+	for i := 0; i < cfg.CPUJobs; i++ {
+		j := &job.Job{
+			Kind:    job.KindCPU,
+			Tenant:  job.TenantID(pick(rng, cpuWeights) + 1),
+			Request: job.Request{CPUCores: 2 + rng.Intn(5), Nodes: 1},
+			Arrival: diurnalArrival(rng, cfg.Duration, cfg.DiurnalAmplitude, cfg.WeekendFactor),
+			Work:    cpuRuntime(rng),
+		}
+		j.Bandwidth = 0.3 * float64(j.Request.CPUCores)
+		if rng.Float64() < cfg.HogFraction {
+			j.Kind = job.KindBandwidthHog
+			j.Request.CPUCores = 8 + rng.Intn(9) // 8-16 threads of HEAT
+			// A STREAM-like kernel saturates a DDR4 channel per thread:
+			// one hog can push a node past the 75% contention knee alone.
+			j.Bandwidth = 8 * float64(j.Request.CPUCores)
+			j.Work = cpuRuntime(rng) * 2
+		}
+		jobs = append(jobs, j)
+	}
+
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
+	for i, j := range jobs {
+		j.ID = job.ID(i + 1)
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: generated invalid job: %w", err)
+		}
+	}
+	return jobs, nil
+}
+
+// Stats summarizes a trace the way Fig. 2 does.
+type Stats struct {
+	// Jobs is the total count; CPUJobs/GPUJobs/HogJobs break it down.
+	Jobs, CPUJobs, GPUJobs, HogJobs int
+	// ReqCores12, ReqCores310, ReqCoresOver10 are the Fig. 2d fractions of
+	// GPU jobs requesting 1-2, 3-10, and >10 cores.
+	ReqCores12, ReqCores310, ReqCoresOver10 float64
+	// GPUJobsPerTenant and CPUJobsPerTenant index by tenant ID (1-based;
+	// index 0 unused).
+	GPUJobsPerTenant, CPUJobsPerTenant [NumTenants + 1]int
+	// MultiNodeFraction is the fraction of GPU jobs spanning nodes.
+	MultiNodeFraction float64
+	// GPUJobsOverHour / GPUJobsOverTwoHours are §VI-F's runtime fractions.
+	GPUJobsOverHour, GPUJobsOverTwoHours float64
+}
+
+// Summarize computes trace statistics.
+func Summarize(jobs []*job.Job) Stats {
+	var s Stats
+	s.Jobs = len(jobs)
+	multiNode, overHour, overTwo := 0, 0, 0
+	req12, req310, reqOver := 0, 0, 0
+	for _, j := range jobs {
+		switch j.Kind {
+		case job.KindGPUTraining:
+			s.GPUJobs++
+			if int(j.Tenant) <= NumTenants {
+				s.GPUJobsPerTenant[j.Tenant]++
+			}
+			switch c := j.Request.CPUCores; {
+			case c <= 2:
+				req12++
+			case c <= 10:
+				req310++
+			default:
+				reqOver++
+			}
+			if j.Request.Nodes > 1 {
+				multiNode++
+			}
+			if j.Work > time.Hour {
+				overHour++
+			}
+			if j.Work > 2*time.Hour {
+				overTwo++
+			}
+		default:
+			s.CPUJobs++
+			if j.Kind == job.KindBandwidthHog {
+				s.HogJobs++
+			}
+			if int(j.Tenant) <= NumTenants {
+				s.CPUJobsPerTenant[j.Tenant]++
+			}
+		}
+	}
+	if s.GPUJobs > 0 {
+		n := float64(s.GPUJobs)
+		s.ReqCores12 = float64(req12) / n
+		s.ReqCores310 = float64(req310) / n
+		s.ReqCoresOver10 = float64(reqOver) / n
+		s.MultiNodeFraction = float64(multiNode) / n
+		s.GPUJobsOverHour = float64(overHour) / n
+		s.GPUJobsOverTwoHours = float64(overTwo) / n
+	}
+	return s
+}
+
+// HourlyArrivals bins job arrivals into hours for Fig. 1-style plots.
+// Only jobs matching filter are counted (nil counts all).
+func HourlyArrivals(jobs []*job.Job, duration time.Duration, filter func(*job.Job) bool) []int {
+	hours := int(duration / time.Hour)
+	if duration%time.Hour != 0 {
+		hours++
+	}
+	bins := make([]int, hours)
+	for _, j := range jobs {
+		if filter != nil && !filter(j) {
+			continue
+		}
+		h := int(j.Arrival / time.Hour)
+		if h >= 0 && h < hours {
+			bins[h]++
+		}
+	}
+	return bins
+}
