@@ -1,0 +1,104 @@
+// Command coda-lint runs the repository's determinism and concurrency
+// static analysis over internal/... and cmd/... and reports violations as
+// "file:line: rule: message" lines, exiting non-zero when any survive.
+//
+// Usage:
+//
+//	go run ./cmd/coda-lint ./...
+//	go run ./cmd/coda-lint ./internal/core ./internal/sched
+//
+// The rule set and the //coda:ordered-ok escape hatch are documented in
+// DESIGN.md ("Determinism invariants") and internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/coda-repro/coda/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: coda-lint [./... | package-dirs]\n\n"+
+				"Runs the CODA determinism rules (%s)\nover internal/... and cmd/... of the enclosing module.\n",
+			strings.Join([]string{
+				lint.RuleOrderedMap, lint.RuleWallClock, lint.RuleGoroutines,
+				lint.RuleFloatEq, lint.RuleUncheckedErr,
+			}, ", "))
+	}
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.LintTrees(root, []string{"internal", "cmd"}, lint.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	findings, err = filterArgs(findings, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, f := range findings {
+		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = f.Pos.Filename
+		}
+		fmt.Printf("%s:%d: %s: %s\n", rel, f.Pos.Line, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "coda-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// filterArgs restricts findings to the requested package patterns. With no
+// arguments or a bare "./..." everything stays. A pattern naming a
+// directory that does not exist is an error — a typo'd path must not look
+// like a clean run.
+func filterArgs(findings []lint.Finding, args []string) ([]lint.Finding, error) {
+	var prefixes []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return findings, nil
+		}
+		dir, _ := strings.CutSuffix(a, "/...") // a dir prefix covers both the exact and recursive case
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", a)
+		}
+		prefixes = append(prefixes, abs+string(filepath.Separator))
+	}
+	if len(prefixes) == 0 {
+		return findings, nil
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		for _, p := range prefixes {
+			if strings.HasPrefix(f.Pos.Filename, p) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coda-lint:", err)
+	os.Exit(2)
+}

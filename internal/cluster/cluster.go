@@ -139,6 +139,7 @@ func (n *Node) JobCount() int { return len(n.jobs) }
 // Jobs returns the IDs of jobs holding resources on this node, sorted.
 func (n *Node) Jobs() []job.ID {
 	ids := make([]job.ID, 0, len(n.jobs))
+	//coda:ordered-ok collected IDs are fully ordered by the sort below
 	for id := range n.jobs {
 		ids = append(ids, id)
 	}
@@ -465,6 +466,7 @@ func (c *Cluster) CheckInvariants() error {
 			return fmt.Errorf("node %d: used gpus %d out of [0,%d]", n.ID, n.usedGPUs, n.GPUs)
 		}
 	}
+	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
 	for id, nodeIDs := range c.placements {
 		for _, nid := range nodeIDs {
 			if _, ok := c.nodes[nid].jobs[id]; !ok {

@@ -232,6 +232,7 @@ func (a *Allocator) Tuning(id job.ID) bool {
 func (a *Allocator) Tick() {
 	now := a.env.Now()
 	due := make([]job.ID, 0, len(a.tuning))
+	//coda:ordered-ok collected IDs are sorted before the searches advance
 	for id, st := range a.tuning {
 		if now >= st.nextCheck {
 			due = append(due, id)

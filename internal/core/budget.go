@@ -87,6 +87,7 @@ func (b *nodeBudget) borrowedCores() int {
 // (ties by ID) so preemption frees cores with the fewest aborts.
 func (b *nodeBudget) borrowers() []job.ID {
 	ids := make([]job.ID, 0, len(b.cpuDraws))
+	//coda:ordered-ok collected IDs are fully ordered by the sort below
 	for id, d := range b.cpuDraws {
 		if d.fromReserve > 0 {
 			ids = append(ids, id)
@@ -206,11 +207,13 @@ func (b *nodeBudget) checkInvariants() error {
 	if b.sharedUsed() > b.cores-b.reserve {
 		return fmt.Errorf("core: shared pool overcommitted (%d > %d)", b.sharedUsed(), b.cores-b.reserve)
 	}
+	//coda:ordered-ok error reporting on already-corrupt state; any witness will do
 	for id, d := range b.gpuDraws {
 		if d.fromReserve < 0 || d.fromShared < 0 || d.total() == 0 {
 			return fmt.Errorf("core: gpu job %d has corrupt draw %+v", id, d)
 		}
 	}
+	//coda:ordered-ok error reporting on already-corrupt state; any witness will do
 	for id, d := range b.cpuDraws {
 		if d.fromReserve < 0 || d.fromShared < 0 || d.total() == 0 {
 			return fmt.Errorf("core: cpu job %d has corrupt draw %+v", id, d)

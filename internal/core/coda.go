@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/coda-repro/coda/internal/cluster"
@@ -207,10 +208,20 @@ func (s *Scheduler) drain() {
 		before[id] = true
 	}
 	s.arrays.Drain()
-	for id, info := range s.arrays.running {
-		if before[id] {
-			continue
+	// Tuning sessions start in job-ID order: OnStarted feeds the allocator's
+	// per-job state machine, and a map-order walk here would thread Go's
+	// iteration randomness into which session the next shared-noise reading
+	// belongs to.
+	started := make([]job.ID, 0, len(s.arrays.running))
+	//coda:ordered-ok collected IDs are sorted before use
+	for id := range s.arrays.running {
+		if !before[id] {
+			started = append(started, id)
 		}
+	}
+	sort.Slice(started, func(i, j int) bool { return started[i] < started[j] })
+	for _, id := range started {
+		info := s.arrays.running[id]
 		if _, ok := s.started[id]; !ok {
 			s.started[id] = s.env.Now()
 		}

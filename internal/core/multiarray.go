@@ -140,7 +140,7 @@ func NewMultiArrayForCluster(cfg ArrayConfig, cc cluster.Config) (*MultiArray, e
 		return nil, err
 	}
 	gpuTotal := float64(cc.Nodes * cc.GPUsPerNode)
-	if gpuTotal == 0 {
+	if cc.Nodes*cc.GPUsPerNode == 0 {
 		gpuTotal = 1
 	}
 	m.gpuAcc, err = fair.NewAccountant(
@@ -259,14 +259,21 @@ func (m *MultiArray) ResizeRunning(id job.ID, newCores int) error {
 	return nil
 }
 
-// pendingTenants lists tenants with non-empty queues.
+// pendingTenants lists tenants with non-empty queues, sorted by tenant ID.
+// The order is load-bearing: the candidate list feeds DRF's PoorestTenant,
+// and handing it Go's randomized map order would make same-seed replay
+// depend on every downstream consumer re-sorting correctly. Sorting here
+// makes the candidate order seed-stable by construction (the determinism
+// invariant coda-lint enforces).
 func pendingTenants(queues map[job.TenantID]*list.List) []job.TenantID {
-	var out []job.TenantID
+	out := make([]job.TenantID, 0, len(queues))
+	//coda:ordered-ok collected tenant IDs are sorted before return
 	for t, q := range queues {
 		if q.Len() > 0 {
 			out = append(out, t)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -31,7 +31,11 @@ func (r Resources) Sub(o Resources) Resources {
 	return Resources{CPU: r.CPU - o.CPU, GPU: r.GPU - o.GPU}
 }
 
-// IsZero reports whether both dimensions are zero.
+// IsZero reports whether both dimensions are exactly zero. Exact equality
+// is intentional: it only gates dropping a tenant's ledger entry, and a
+// residual epsilon keeps the entry alive harmlessly (CheckInvariants
+// compares with a tolerance).
+//coda:ordered-ok exact zero test by design; a float residue only delays map cleanup
 func (r Resources) IsZero() bool { return r.CPU == 0 && r.GPU == 0 }
 
 // Dominant selects which resource dimension dominates a tenant's share.
@@ -91,6 +95,7 @@ func NewAccountant(total Resources, mode Dominant) (*Accountant, error) {
 	default:
 		return nil, fmt.Errorf("fair: unknown dominant mode %d", int(mode))
 	}
+	//coda:ordered-ok construction-time validation of an int-derived total; exact zero intended
 	if mode == DominantGPU && total.GPU == 0 {
 		return nil, fmt.Errorf("fair: dominant GPU mode needs GPUs in the total")
 	}
@@ -192,6 +197,7 @@ func (a *Accountant) Rank(tenants []job.TenantID) []job.TenantID {
 	out := append([]job.TenantID(nil), tenants...)
 	sort.SliceStable(out, func(i, j int) bool {
 		si, sj := a.DominantShare(out[i]), a.DominantShare(out[j])
+		//coda:ordered-ok comparator tie-break; both shares come from the same deterministic computation
 		if si != sj {
 			return si < sj
 		}
@@ -212,15 +218,18 @@ func (a *Accountant) PoorestTenant(candidates []job.TenantID) (job.TenantID, boo
 // CheckInvariants verifies the per-job ledger sums to the per-tenant usage.
 func (a *Accountant) CheckInvariants() error {
 	sums := make(map[job.TenantID]Resources, len(a.used))
+	//coda:ordered-ok per-tenant sums are compared with a 1e-9 tolerance below
 	for _, c := range a.perJob {
 		sums[c.tenant] = sums[c.tenant].Add(c.res)
 	}
+	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
 	for t, want := range sums {
 		got := a.used[t]
 		if math.Abs(got.CPU-want.CPU) > 1e-9 || math.Abs(got.GPU-want.GPU) > 1e-9 {
 			return fmt.Errorf("fair: tenant %d usage %+v, ledger sums to %+v", t, got, want)
 		}
 	}
+	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
 	for t, got := range a.used {
 		if _, ok := sums[t]; !ok && !got.IsZero() {
 			return fmt.Errorf("fair: tenant %d has usage %+v but no charged jobs", t, got)

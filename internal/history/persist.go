@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/coda-repro/coda/internal/job"
 )
@@ -54,6 +55,8 @@ func (l *Log) Save(w io.Writer) error {
 		SumGPUJobGPUs: l.sumGPUJobGPUs,
 		SumLargeGPUs:  l.sumLargeGPUs,
 	}
+	// Entries are sorted so the serialized snapshot is byte-identical across
+	// runs (map iteration order would otherwise leak into the output).
 	for k, agg := range l.byOwnerCategory {
 		snap.ByOwnerCategory = append(snap.ByOwnerCategory, ownerCategoryEntry{
 			Tenant:    int(k.tenant),
@@ -63,6 +66,13 @@ func (l *Log) Save(w io.Writer) error {
 			Count:     agg.count,
 		})
 	}
+	sort.Slice(snap.ByOwnerCategory, func(i, j int) bool {
+		a, b := snap.ByOwnerCategory[i], snap.ByOwnerCategory[j]
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Category < b.Category
+	})
 	for t, agg := range l.byOwner {
 		snap.ByOwner = append(snap.ByOwner, ownerEntry{
 			Tenant:    int(t),
@@ -71,6 +81,9 @@ func (l *Log) Save(w io.Writer) error {
 			Count:     agg.count,
 		})
 	}
+	sort.Slice(snap.ByOwner, func(i, j int) bool {
+		return snap.ByOwner[i].Tenant < snap.ByOwner[j].Tenant
+	})
 	bw := bufio.NewWriter(w)
 	if err := json.NewEncoder(bw).Encode(snap); err != nil {
 		return fmt.Errorf("history: encode: %w", err)

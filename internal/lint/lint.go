@@ -1,0 +1,200 @@
+// Package lint is coda-lint: a stdlib-only static analyzer enforcing the
+// determinism and concurrency invariants CODA's reproduction rests on.
+// Identical seeds must replay identical schedules — otherwise the paper's
+// JCT and utilization numbers are unreproducible noise — so the decision
+// path must never consume Go's randomized map iteration order, wall-clock
+// time, the global math/rand stream, stray goroutines, or exact float
+// equality where accumulation order can leak in.
+//
+// Five named rules (see DESIGN.md "Determinism invariants"):
+//
+//	ordered-map-iteration  range over a map in a decision-path package
+//	no-wall-clock          time.Now/Since/Until or global math/rand use
+//	no-stray-goroutines    go statements / sync primitives outside allowlist
+//	float-eq               ==/!= between floating-point expressions
+//	unchecked-error        discarded error results from module-internal APIs
+//
+// A finding is suppressed by a `//coda:ordered-ok <reason>` annotation on
+// the flagged line or the line above; the reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rule names, as reported in findings and matched by fixture expectations.
+const (
+	RuleOrderedMap  = "ordered-map-iteration"
+	RuleWallClock   = "no-wall-clock"
+	RuleGoroutines  = "no-stray-goroutines"
+	RuleFloatEq     = "float-eq"
+	RuleUncheckedErr = "unchecked-error"
+)
+
+// Config scopes each rule to package sets. Paths are module-relative
+// package paths ("internal/core"); an entry ending in "/" matches as a
+// prefix, otherwise it matches exactly.
+type Config struct {
+	// DecisionPath packages are scheduling-decision code where map
+	// iteration order can leak into placements (ordered-map-iteration).
+	DecisionPath []string
+	// WallClockFree packages may not read wall-clock time or the global
+	// math/rand stream (no-wall-clock).
+	WallClockFree []string
+	// Deterministic packages may not start goroutines or use sync
+	// primitives (no-stray-goroutines) ...
+	Deterministic []string
+	// ... except those in GoroutineAllow.
+	GoroutineAllow []string
+	// FloatEqScope packages are checked for exact float comparisons.
+	FloatEqScope []string
+	// ErrCheckScope packages are checked for silently discarded errors.
+	ErrCheckScope []string
+}
+
+// DefaultConfig is the CODA repository policy.
+func DefaultConfig() Config {
+	return Config{
+		// The packages whose iteration order reaches DRF tie-breaking,
+		// placement scans, or metric accumulation.
+		DecisionPath: []string{
+			"internal/core", "internal/sched", "internal/fair",
+			"internal/cluster", "internal/sim", "internal/membw",
+		},
+		// Everything simulator-driven runs on virtual time and seeded rngs.
+		WallClockFree: []string{"internal/"},
+		// Goroutines and locks are confined to the history log (guarded by
+		// a vetted RWMutex) and the experiment harness's replay fan-out.
+		Deterministic:  []string{"internal/"},
+		GoroutineAllow: []string{"internal/history", "internal/experiments"},
+		FloatEqScope:   []string{"internal/", "cmd/"},
+		ErrCheckScope:  []string{"internal/", "cmd/"},
+	}
+}
+
+// Finding is one rule violation.
+type Finding struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule is the rule name (Rule* constants).
+	Rule string
+	// Message explains the violation.
+	Message string
+}
+
+// String formats the finding as "file:line: rule: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// matchScope reports whether relPath falls in the scope list.
+func matchScope(scope []string, relPath string) bool {
+	for _, s := range scope {
+		if strings.HasSuffix(s, "/") {
+			if strings.HasPrefix(relPath, s) || relPath == strings.TrimSuffix(s, "/") {
+				return true
+			}
+		} else if relPath == s {
+			return true
+		}
+	}
+	return false
+}
+
+// AnnotationPrefix marks an intentional, reviewed exception. The text after
+// the prefix is the mandatory justification.
+const AnnotationPrefix = "//coda:ordered-ok"
+
+// annotations maps file name -> set of line numbers carrying a valid
+// (reason-bearing) suppression annotation.
+type annotations map[string]map[int]bool
+
+// collectAnnotations scans a file's comments for suppression annotations.
+// Annotations without a reason are ignored (and therefore do not suppress).
+func collectAnnotations(fset *token.FileSet, file *ast.File, into annotations) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, AnnotationPrefix)
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(rest) == "" {
+				continue // no reason given: annotation is void
+			}
+			pos := fset.Position(c.Pos())
+			lines, found := into[pos.Filename]
+			if !found {
+				lines = make(map[int]bool)
+				into[pos.Filename] = lines
+			}
+			lines[pos.Line] = true
+		}
+	}
+}
+
+// suppressed reports whether a finding at pos carries an annotation on the
+// same line or the line directly above.
+func (a annotations) suppressed(pos token.Position) bool {
+	lines := a[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// Run executes every rule over the module and returns the surviving
+// findings sorted by position.
+func Run(m *Module, cfg Config) []Finding {
+	ann := make(annotations)
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			collectAnnotations(m.Fset, file, ann)
+		}
+	}
+
+	var out []Finding
+	keep := func(f Finding) {
+		if !ann.suppressed(f.Pos) {
+			out = append(out, f)
+		}
+	}
+	for _, pkg := range m.Packages {
+		if matchScope(cfg.DecisionPath, pkg.RelPath) {
+			checkOrderedMapIteration(m, pkg, keep)
+		}
+		if matchScope(cfg.WallClockFree, pkg.RelPath) {
+			checkWallClock(m, pkg, keep)
+		}
+		if matchScope(cfg.Deterministic, pkg.RelPath) && !matchScope(cfg.GoroutineAllow, pkg.RelPath) {
+			checkGoroutines(m, pkg, keep)
+		}
+		if matchScope(cfg.FloatEqScope, pkg.RelPath) {
+			checkFloatEq(m, pkg, keep)
+		}
+		if matchScope(cfg.ErrCheckScope, pkg.RelPath) {
+			checkUncheckedError(m, pkg, keep)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// LintTrees loads root's package trees and runs the default-config rules —
+// the entry point shared by the CLI and the self-enforcing test.
+func LintTrees(root string, trees []string, cfg Config) ([]Finding, error) {
+	m, err := LoadModule(root, trees)
+	if err != nil {
+		return nil, err
+	}
+	return Run(m, cfg), nil
+}

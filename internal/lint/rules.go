@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// --- rule: ordered-map-iteration -----------------------------------------
+
+// checkOrderedMapIteration flags `for range` over map types unless the loop
+// body provably aggregates order-insensitively (sums into integer
+// accumulators, sets booleans, deletes keys, returns literals).
+func checkOrderedMapIteration(m *Module, pkg *Package, keep func(Finding)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBlock(pkg.Info, rs.Body) {
+				return true
+			}
+			keep(Finding{
+				Pos:  m.Fset.Position(rs.Pos()),
+				Rule: RuleOrderedMap,
+				Message: "map iteration order is randomized; sort the keys, prove the loop " +
+					"order-insensitive, or annotate with " + AnnotationPrefix + " <reason>",
+			})
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBlock reports whether every statement in the block has the
+// same effect regardless of iteration order. The test is deliberately
+// conservative: integer accumulation, boolean-literal assignment, key
+// deletion, literal returns, and control flow among those. Anything else —
+// appends, float accumulation, calls — is assumed order-sensitive.
+func orderInsensitiveBlock(info *types.Info, block *ast.BlockStmt) bool {
+	for _, stmt := range block.List {
+		if !orderInsensitiveStmt(info, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(info *types.Info, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case nil, *ast.EmptyStmt, *ast.DeclStmt:
+		return true
+	case *ast.BranchStmt:
+		// break / continue (goto would carry a label).
+		return s.Label == nil
+	case *ast.IncDecStmt:
+		// x++ / x-- on integers commutes exactly.
+		return isIntegral(info.TypeOf(s.X))
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(info, s)
+	case *ast.ReturnStmt:
+		// Returning a constant from inside the loop is "any element
+		// matches" semantics: the result is the same whichever element
+		// triggers it first.
+		for _, res := range s.Results {
+			if !isConstExpr(info, res) {
+				return false
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		// delete(m, k) removes distinct keys; order cannot matter.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if !orderInsensitiveBlock(info, s.Body) {
+			return false
+		}
+		if s.Else != nil && !orderInsensitiveStmt(info, s.Else) {
+			return false
+		}
+		return true
+	case *ast.BlockStmt:
+		return orderInsensitiveBlock(info, s)
+	default:
+		return false
+	}
+}
+
+// orderInsensitiveAssign accepts integer compound accumulation (+=, -=, |=,
+// &=, ^=) and plain assignment of boolean literals (flag = true).
+func orderInsensitiveAssign(info *types.Info, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if !isIntegral(info.TypeOf(lhs)) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN, token.DEFINE:
+		for _, rhs := range s.Rhs {
+			if !isBoolLiteral(info, rhs) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// isIntegral reports whether t is an integer type (float accumulation is
+// order-sensitive and never passes).
+func isIntegral(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isBoolLiteral reports whether e is the predeclared true or false.
+func isBoolLiteral(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Parent() == types.Universe && (id.Name == "true" || id.Name == "false")
+}
+
+// isConstExpr reports whether e is a basic literal or universe constant
+// (true/false/iota-free named constants also qualify).
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	if _, ok := e.(*ast.BasicLit); ok {
+		return true
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// --- rule: no-wall-clock --------------------------------------------------
+
+// globalRandFuncs are the math/rand package-level functions drawing from the
+// process-global (unseeded or once-seeded) source. Constructors for
+// explicitly seeded generators (New, NewSource, NewZipf) stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+// wallClockFuncs are the time package functions that read the host clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// checkWallClock flags wall-clock reads and global math/rand draws: the
+// simulator owns virtual time (sched.Env.Now) and every random stream must
+// be an explicitly seeded *rand.Rand.
+func checkWallClock(m *Module, pkg *Package, keep func(Finding)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := importedPackage(pkg.Info, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && wallClockFuncs[sel.Sel.Name]:
+				keep(Finding{
+					Pos:  m.Fset.Position(sel.Pos()),
+					Rule: RuleWallClock,
+					Message: fmt.Sprintf("time.%s reads the wall clock; simulator-driven code must use "+
+						"the environment's virtual time (sched.Env.Now)", sel.Sel.Name),
+				})
+			case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[sel.Sel.Name]:
+				keep(Finding{
+					Pos:  m.Fset.Position(sel.Pos()),
+					Rule: RuleWallClock,
+					Message: fmt.Sprintf("rand.%s draws from the global source; use an explicitly "+
+						"seeded *rand.Rand so runs replay identically", sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+}
+
+// importedPackage resolves sel's qualifier to an imported package path.
+func importedPackage(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// --- rule: no-stray-goroutines -------------------------------------------
+
+// checkGoroutines flags `go` statements and any use of sync / sync/atomic
+// in deterministic packages: concurrent interleavings are a second source
+// of schedule nondeterminism on top of map ordering.
+func checkGoroutines(m *Module, pkg *Package, keep func(Finding)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				keep(Finding{
+					Pos:  m.Fset.Position(node.Pos()),
+					Rule: RuleGoroutines,
+					Message: "goroutine in a deterministic package; simulator-driven code is " +
+						"single-threaded by design",
+				})
+			case *ast.SelectorExpr:
+				if path, ok := importedPackage(pkg.Info, node); ok {
+					if path == "sync" || path == "sync/atomic" {
+						keep(Finding{
+							Pos:  m.Fset.Position(node.Pos()),
+							Rule: RuleGoroutines,
+							Message: fmt.Sprintf("%s.%s in a deterministic package; concurrency "+
+								"primitives belong in the allowlisted packages only", path, node.Sel.Name),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- rule: float-eq -------------------------------------------------------
+
+// checkFloatEq flags == and != between floating-point expressions: float
+// accumulation is order- and optimization-sensitive, so exact equality
+// encodes a hidden determinism assumption. Use a tolerance, restructure the
+// comparison over integers, or annotate the intent.
+func checkFloatEq(m *Module, pkg *Package, keep func(Finding)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pkg.Info.TypeOf(be.X)) && isFloat(pkg.Info.TypeOf(be.Y)) {
+				keep(Finding{
+					Pos:  m.Fset.Position(be.OpPos),
+					Rule: RuleFloatEq,
+					Message: fmt.Sprintf("exact float %s comparison; accumulation order makes this "+
+						"fragile — compare with a tolerance or annotate the intent", be.Op),
+				})
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// --- rule: unchecked-error ------------------------------------------------
+
+// checkUncheckedError flags expression statements (and go/defer statements)
+// that call a module-internal function returning an error and drop the
+// result on the floor. Explicit `_ =` discards are visible and stay legal.
+func checkUncheckedError(m *Module, pkg *Package, keep func(Finding)) {
+	check := func(call *ast.CallExpr, how string) {
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if !strings.HasPrefix(fn.Pkg().Path(), m.Path) {
+			return // only module-internal APIs: stdlib error styles vary
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !resultsIncludeError(sig.Results()) {
+			return
+		}
+		keep(Finding{
+			Pos:  m.Fset.Position(call.Pos()),
+			Rule: RuleUncheckedErr,
+			Message: fmt.Sprintf("%s discards the error from %s.%s; handle it or discard "+
+				"explicitly with _ =", how, fn.Pkg().Name(), fn.Name()),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "call")
+				}
+			case *ast.DeferStmt:
+				check(s.Call, "defer")
+			case *ast.GoStmt:
+				check(s.Call, "go")
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's target to a function or method object.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// resultsIncludeError reports whether any result is the error type.
+func resultsIncludeError(results *types.Tuple) bool {
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+// Package allowed sits on the goroutine allowlist: concurrency here is
+// legal and must produce no findings.
+package allowed
+
+import "sync"
+
+// Counter is a mutex-guarded counter like internal/history's log.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc bumps the counter from any goroutine.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Spawn increments asynchronously.
+func (c *Counter) Spawn(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		c.Inc()
+	}()
+}

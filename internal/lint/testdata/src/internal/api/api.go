@@ -1,0 +1,8 @@
+// Package api supplies a module-internal error-returning function for the
+// unchecked-error fixtures.
+package api
+
+import "errors"
+
+// Do fails unconditionally.
+func Do() error { return errors.New("api: boom") }

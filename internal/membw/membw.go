@@ -119,6 +119,7 @@ func (m *Meter) JobBandwidth(id job.ID) (float64, error) {
 // simulator's determinism guarantee needs bit-identical totals.
 func (m *Meter) Total() float64 {
 	ids := make([]job.ID, 0, len(m.jobs))
+	//coda:ordered-ok collected IDs are fully ordered by the sort below
 	for id := range m.jobs {
 		ids = append(ids, id)
 	}
@@ -162,6 +163,7 @@ type JobUsage struct {
 // (ties broken by ID) — the order the eliminator throttles in.
 func (m *Meter) Jobs() []JobUsage {
 	out := make([]JobUsage, 0, len(m.jobs))
+	//coda:ordered-ok collected entries are fully ordered by the sort below
 	for id, u := range m.jobs {
 		out = append(out, JobUsage{
 			ID:           id,
@@ -172,6 +174,7 @@ func (m *Meter) Jobs() []JobUsage {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//coda:ordered-ok comparator tie-break; both values come from the same deterministic computation
 		if out[i].EffectiveGBs != out[j].EffectiveGBs {
 			return out[i].EffectiveGBs > out[j].EffectiveGBs
 		}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"container/list"
+	"sort"
 
 	"github.com/coda-repro/coda/internal/fair"
 	"github.com/coda-repro/coda/internal/job"
@@ -67,14 +68,19 @@ func (d *DRF) OnJobCompleted(j *job.Job) {
 // Tick implements Scheduler.
 func (d *DRF) Tick() { d.drain() }
 
-// pendingTenants returns tenants with non-empty queues.
+// pendingTenants returns tenants with non-empty queues, sorted by tenant ID
+// so the candidate order handed to PoorestTenant is seed-stable rather than
+// Go's randomized map order (same determinism contract as CODA's
+// multi-array pendingTenants).
 func (d *DRF) pendingTenants() []job.TenantID {
 	tenants := make([]job.TenantID, 0, len(d.queues))
+	//coda:ordered-ok collected tenant IDs are sorted before return
 	for t, q := range d.queues {
 		if q.Len() > 0 {
 			tenants = append(tenants, t)
 		}
 	}
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
 	return tenants
 }
 

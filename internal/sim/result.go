@@ -165,6 +165,7 @@ func (s *Simulator) sample() {
 	// Iterate jobs in ID order: float accumulation is order-sensitive and
 	// samples must reproduce bit-for-bit across runs.
 	ids := make([]job.ID, 0, len(s.running))
+	//coda:ordered-ok collected IDs are fully ordered by the sort below
 	for id := range s.running {
 		ids = append(ids, id)
 	}
@@ -242,6 +243,7 @@ func (s *Simulator) fragRate() float64 {
 	// minCores[g] = the smallest per-node core request among pending GPU
 	// jobs wanting g GPUs per node.
 	minCores := make(map[int]int, 4)
+	//coda:ordered-ok min-update per key; the final map is independent of visit order
 	for _, j := range s.pending {
 		if !j.IsGPU() {
 			continue

@@ -470,6 +470,7 @@ func (s *Simulator) refreshNodes(nodeIDs []int) {
 			}
 			s.advance(r)
 			newSpeed := s.computeSpeed(r)
+			//coda:ordered-ok change detector; both sides come from the same deterministic computation
 			if newSpeed != r.speed {
 				r.speed = newSpeed
 				s.scheduleCompletion(r)

@@ -201,6 +201,7 @@ func pick(rng *rand.Rand, weights []float64) int {
 // weekendFactor on days 6-7 of each week, via rejection sampling
 // (Fig. 1's CPU activity pattern).
 func diurnalArrival(rng *rand.Rand, duration time.Duration, amplitude, weekendFactor float64) time.Duration {
+	//coda:ordered-ok fast-path gate on a config constant, not a computed float
 	if amplitude == 0 && weekendFactor >= 1 {
 		return time.Duration(rng.Int63n(int64(duration)))
 	}
