@@ -1,11 +1,14 @@
 // Command coda-lint runs the repository's determinism and concurrency
 // static analysis over internal/... and cmd/... and reports violations as
-// "file:line: rule: message" lines, exiting non-zero when any survive.
+// "file:line: rule: message" lines.
 //
 // Usage:
 //
 //	go run ./cmd/coda-lint ./...
 //	go run ./cmd/coda-lint ./internal/core ./internal/sched
+//
+// Exit codes: 0 when the tree is clean, 1 when findings survive, 2 when the
+// run itself fails (no module root, unreadable source, bad arguments).
 //
 // The rule set and the //coda:ordered-ok escape hatch are documented in
 // DESIGN.md ("Determinism invariants") and internal/lint.
@@ -14,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,48 +39,61 @@ func main() {
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "coda-lint:", err)
+		os.Exit(2)
 	}
-	root, err := lint.FindModuleRoot(cwd)
+	os.Exit(run(flag.Args(), cwd, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: lint the module enclosing dir,
+// restricted to the argument patterns, writing findings to stdout and
+// diagnostics to stderr. Returns the process exit code — 0 clean, 1 with
+// findings, 2 on operational errors.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	root, err := lint.FindModuleRoot(dir)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "coda-lint:", err)
+		return 2
 	}
 	findings, err := lint.LintTrees(root, []string{"internal", "cmd"}, lint.DefaultConfig())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "coda-lint:", err)
+		return 2
 	}
-	findings, err = filterArgs(findings, flag.Args())
+	findings, err = filterArgs(findings, args, dir)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "coda-lint:", err)
+		return 2
 	}
 
 	for _, f := range findings {
-		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+		rel, err := filepath.Rel(dir, f.Pos.Filename)
 		if err != nil || strings.HasPrefix(rel, "..") {
 			rel = f.Pos.Filename
 		}
-		fmt.Printf("%s:%d: %s: %s\n", rel, f.Pos.Line, f.Rule, f.Message)
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", rel, f.Pos.Line, f.Rule, f.Message)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "coda-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "coda-lint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }
 
-// filterArgs restricts findings to the requested package patterns. With no
-// arguments or a bare "./..." everything stays. A pattern naming a
-// directory that does not exist is an error — a typo'd path must not look
-// like a clean run.
-func filterArgs(findings []lint.Finding, args []string) ([]lint.Finding, error) {
+// filterArgs restricts findings to the requested package patterns, resolved
+// relative to dir. With no arguments or a bare "./..." everything stays. A
+// pattern naming a directory that does not exist is an error — a typo'd
+// path must not look like a clean run.
+func filterArgs(findings []lint.Finding, args []string, dir string) ([]lint.Finding, error) {
 	var prefixes []string
 	for _, a := range args {
 		if a == "./..." || a == "..." {
 			return findings, nil
 		}
-		dir, _ := strings.CutSuffix(a, "/...") // a dir prefix covers both the exact and recursive case
-		abs, err := filepath.Abs(dir)
-		if err != nil {
-			return nil, err
+		pat, _ := strings.CutSuffix(a, "/...") // a dir prefix covers both the exact and recursive case
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(dir, pat)
 		}
 		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
 			return nil, fmt.Errorf("%s is not a directory", a)
@@ -96,9 +113,4 @@ func filterArgs(findings []lint.Finding, args []string) ([]lint.Finding, error) 
 		}
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "coda-lint:", err)
-	os.Exit(2)
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLint invokes the command body and captures its streams.
+func runLint(t *testing.T, args []string, dir string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, dir, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// writeTree materializes path->content files under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for path, content := range files {
+		full := filepath.Join(root, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExitZeroOnCleanTree: linting this repository itself must be clean —
+// the determinism rules are self-enforced — and a clean run exits 0 with no
+// findings printed.
+func TestExitZeroOnCleanTree(t *testing.T) {
+	code, stdout, stderr := runLint(t, []string{"./..."}, ".")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+// TestExitOneOnFindings: a module with determinism violations exits 1 and
+// reports each finding as file:line: rule: message.
+func TestExitOneOnFindings(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module example.com/tmplint\n\ngo 1.21\n",
+		"internal/dirty/dirty.go": `package dirty
+
+// Keys leaks map iteration order into a slice.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Eq compares floats for exact equality.
+func Eq(a, b float64) bool { return a == b }
+`,
+	})
+	code, stdout, stderr := runLint(t, nil, tmp)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout == "" {
+		t.Fatal("findings exit code without printed findings")
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing summary: %q", stderr)
+	}
+}
+
+// TestExitTwoOnBadPath: a pattern naming a directory that does not exist is
+// an operational error (exit 2), never a silently clean run.
+func TestExitTwoOnBadPath(t *testing.T) {
+	code, _, stderr := runLint(t, []string{"./no-such-dir/..."}, ".")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "not a directory") {
+		t.Errorf("stderr missing diagnosis: %q", stderr)
+	}
+}
+
+// TestExitTwoOutsideModule: running outside any Go module is an operational
+// error.
+func TestExitTwoOutsideModule(t *testing.T) {
+	code, _, stderr := runLint(t, nil, t.TempDir())
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+	}
+}
+
+// TestArgumentFilterScopesFindings: restricting the run to a clean subtree
+// of a dirty module hides the findings elsewhere; naming the dirty subtree
+// surfaces them.
+func TestArgumentFilterScopesFindings(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module example.com/tmplint\n\ngo 1.21\n",
+		"internal/dirty/dirty.go": `package dirty
+
+func Eq(a, b float64) bool { return a == b }
+`,
+		"internal/clean/clean.go": `package clean
+
+func Add(a, b int) int { return a + b }
+`,
+	})
+	if code, stdout, stderr := runLint(t, []string{"./internal/clean"}, tmp); code != 0 {
+		t.Errorf("clean subtree exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if code, _, _ := runLint(t, []string{"./internal/dirty/..."}, tmp); code != 1 {
+		t.Errorf("dirty subtree exit = %d, want 1", code)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/coda-repro/coda/internal/chaos"
 	"github.com/coda-repro/coda/internal/core"
 	"github.com/coda-repro/coda/internal/experiments"
 	"github.com/coda-repro/coda/internal/history"
@@ -44,6 +45,17 @@ func run(args []string) error {
 	series := fs.Bool("series", false, "also print the hourly utilization time series as CSV")
 	historyIn := fs.String("history-in", "", "warm-start CODA from a saved history log")
 	historyOut := fs.String("history-out", "", "save CODA's history log after the run")
+	invariants := fs.Bool("invariants", false, "validate simulator invariants after every event (slow; aborts on first violation)")
+	faultSeed := fs.Int64("fault-seed", 0, "fault-schedule seed (defaults to -seed; independent of the noise stream)")
+	crashRate := fs.Float64("crashes-per-day", 0, "expected node crashes per simulated day across the cluster")
+	crashDowntime := fs.Duration("crash-downtime", chaos.DefaultCrashDowntime, "how long a crashed node stays down")
+	membwRate := fs.Float64("membw-drops-per-day", 0, "expected membw-telemetry dropouts per simulated day")
+	membwDuration := fs.Duration("membw-drop-duration", chaos.DefaultMembwDropDuration, "how long each telemetry dropout lasts")
+	stragglerRate := fs.Float64("stragglers-per-day", 0, "expected straggler slowdown windows per simulated day")
+	stragglerFactor := fs.Float64("straggler-factor", chaos.DefaultStragglerFactor, "straggler speed multiplier in (0,1)")
+	stragglerDuration := fs.Duration("straggler-duration", chaos.DefaultStragglerDuration, "how long each straggler window lasts")
+	jobFailProb := fs.Float64("job-fail-prob", 0, "probability each job suffers one injected mid-run failure")
+	maxRetries := fs.Int("max-retries", 0, "per-job retry budget after fault kills (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +91,24 @@ func run(args []string) error {
 	opts.Seed = sc.Seed + 1000
 	opts.SampleInterval = 10 * time.Minute
 	opts.MaxVirtualTime = sc.Duration() + 4*24*time.Hour
+	opts.Invariants = *invariants
+
+	if *faultSeed == 0 {
+		*faultSeed = sc.Seed
+	}
+	opts.Faults = chaos.Plan{
+		Seed:              *faultSeed,
+		Horizon:           sc.Duration(),
+		NodeCrashesPerDay: *crashRate,
+		CrashDowntime:     *crashDowntime,
+		MembwDropsPerDay:  *membwRate,
+		MembwDropDuration: *membwDuration,
+		StragglersPerDay:  *stragglerRate,
+		StragglerFactor:   *stragglerFactor,
+		StragglerDuration: *stragglerDuration,
+		JobFailureProb:    *jobFailProb,
+		MaxRetries:        *maxRetries,
+	}
 
 	var policy sched.Scheduler
 	var coda *core.Scheduler
@@ -158,6 +188,14 @@ func printSummary(res *sim.Result, totalJobs int, elapsed time.Duration) {
 	fmt.Printf("cpu utilization  %.1f%%\n", sm.CPUUtil*100)
 	fmt.Printf("fragmentation    %.2f%%\n", sm.FragRate*100)
 	fmt.Printf("preemptions      %d, throttles %d\n", res.Preemptions, res.Throttles)
+
+	if f := res.Faults; f.Any() {
+		fmt.Printf("faults           %d crashes, %d recoveries, %d membw dropouts, %d stragglers\n",
+			f.NodeCrashes, f.NodeRecoveries, f.MembwDropouts, f.Stragglers)
+		fmt.Printf("fault impact     %d kills (%d injected), %d requeues, %d terminal, %v goodput lost, %d degraded samples\n",
+			f.JobKills, f.JobFailures, f.Requeues, f.TerminalFailures,
+			f.GoodputLost.Truncate(time.Second), f.DegradedSamples)
+	}
 
 	fmt.Printf("gpu queue        p50 %v  p99 %v  >10min %.1f%%  >1h %.1f%%  =0 %.1f%%\n",
 		res.GPUQueue.Percentile(50).Truncate(time.Second),

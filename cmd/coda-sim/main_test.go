@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/coda-repro/coda/internal/trace"
@@ -92,5 +94,84 @@ func TestHistoryFlagsRequireCODA(t *testing.T) {
 	}
 	if err := run(append(tinyArgs("coda"), "-history-in", "/nonexistent")); err == nil {
 		t.Error("missing history file should fail")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// chaosArgs is a small run with rates high enough that the compiled
+// schedule deterministically contains crashes and membw dropouts.
+func chaosArgs() []string {
+	return append(tinyArgs("coda"),
+		"-invariants",
+		"-fault-seed", "9",
+		"-crashes-per-day", "200",
+		"-crash-downtime", "15m",
+		"-membw-drops-per-day", "200",
+		"-membw-drop-duration", "10m",
+		"-stragglers-per-day", "20",
+		"-job-fail-prob", "0.2",
+		"-max-retries", "2",
+	)
+}
+
+// TestRunChaosWithInvariants is the CLI-level acceptance check: a run with a
+// non-empty fault plan and the invariant checker hot completes without a
+// violation and reports its fault activity.
+func TestRunChaosWithInvariants(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(chaosArgs()) })
+	if err != nil {
+		t.Fatalf("chaotic run failed (invariant violation?): %v", err)
+	}
+	if !strings.Contains(out, "faults") || !strings.Contains(out, "fault impact") {
+		t.Fatalf("summary missing fault lines:\n%s", out)
+	}
+	for _, absent := range []string{"0 crashes,", " 0 membw dropouts"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("plan was supposed to inject crashes and dropouts; got:\n%s", out)
+		}
+	}
+}
+
+// TestRunChaosIsReproducible: the same CLI invocation prints byte-identical
+// output both times (modulo the wall-clock timing line).
+func TestRunChaosIsReproducible(t *testing.T) {
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "virtual time") {
+				continue // contains wall-clock elapsed time
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	a, err := captureStdout(t, func() error { return run(chaosArgs()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := captureStdout(t, func() error { return run(chaosArgs()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strip(a) != strip(b) {
+		t.Errorf("same-seed CLI runs diverged:\n--- A ---\n%s\n--- B ---\n%s", a, b)
 	}
 }

@@ -1,0 +1,351 @@
+// Package chaos is the deterministic fault injector for the CODA
+// simulator. A Plan describes the failure model of a run — node crashes,
+// memory-bandwidth telemetry dropouts, straggler slowdowns and mid-run job
+// failures — as a mix of fixed schedules and per-day rates. Compile expands
+// the plan into an explicit, fully ordered fault schedule using only the
+// plan's own seed, so the same plan always produces the same faults and a
+// fault-free plan costs nothing: chaos never touches the simulator's noise
+// stream, which keeps same-seed runs bit-reproducible with or without
+// faults (the determinism contract DESIGN.md documents).
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+// Kind enumerates the injectable fault events. Window-shaped faults
+// (crashes, telemetry dropouts, stragglers) appear as explicit start/end
+// pairs so the simulator never needs its own timers.
+type Kind int
+
+const (
+	// KindNodeCrash takes a node down: every job with a share on it is
+	// killed and the node accepts no placements until it recovers.
+	KindNodeCrash Kind = iota + 1
+	// KindNodeRecover returns a crashed node to service.
+	KindNodeRecover
+	// KindNodeDrain stops new placements on a node without killing the
+	// jobs already on it (planned maintenance).
+	KindNodeDrain
+	// KindNodeUndrain returns a drained node to service.
+	KindNodeUndrain
+	// KindMembwDark blinds the memory-bandwidth telemetry of one node: the
+	// scheduler's meter reads fail while the underlying physics continue.
+	KindMembwDark
+	// KindMembwRestore brings a node's bandwidth telemetry back.
+	KindMembwRestore
+	// KindStragglerStart slows every job touching the node by Factor.
+	KindStragglerStart
+	// KindStragglerEnd lifts a straggler slowdown.
+	KindStragglerEnd
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNodeCrash:
+		return "node-crash"
+	case KindNodeRecover:
+		return "node-recover"
+	case KindNodeDrain:
+		return "node-drain"
+	case KindNodeUndrain:
+		return "node-undrain"
+	case KindMembwDark:
+		return "membw-dark"
+	case KindMembwRestore:
+		return "membw-restore"
+	case KindStragglerStart:
+		return "straggler-start"
+	case KindStragglerEnd:
+		return "straggler-end"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one injected event, in simulation time.
+type Fault struct {
+	// At is the injection time.
+	At time.Duration
+	// Kind is the fault class.
+	Kind Kind
+	// Node is the target node ID.
+	Node int
+	// Factor is the straggler speed multiplier in (0, 1); unused otherwise.
+	Factor float64
+}
+
+// Defaults for window lengths and the retry policy, used when the
+// corresponding Plan field is zero.
+const (
+	// DefaultCrashDowntime is how long a crashed node stays down.
+	DefaultCrashDowntime = 30 * time.Minute
+	// DefaultMembwDropDuration is how long a telemetry dropout lasts.
+	DefaultMembwDropDuration = 10 * time.Minute
+	// DefaultStragglerDuration is how long a straggler window lasts.
+	DefaultStragglerDuration = time.Hour
+	// DefaultStragglerFactor is the default straggler speed multiplier.
+	DefaultStragglerFactor = 0.5
+	// DefaultMaxRetries is the per-job retry budget after fault kills.
+	DefaultMaxRetries = 3
+	// DefaultRetryBackoff is the base of the sim-time exponential backoff
+	// between a fault kill and the requeue.
+	DefaultRetryBackoff = time.Minute
+)
+
+// Plan is a run's failure model. The zero value injects nothing. Rates are
+// expected event counts per simulated day across the whole cluster; fixed
+// Faults are injected verbatim on top (pair your own recover events — an
+// unpaired crash models a node that never comes back).
+type Plan struct {
+	// Seed drives fault-schedule generation and per-job failure draws. It
+	// is independent of the simulator's measurement-noise seed so the two
+	// randomness sources never entangle.
+	Seed int64
+	// Horizon bounds rate-based generation: faults start in [0, Horizon).
+	// Required whenever any rate is positive.
+	Horizon time.Duration
+
+	// Faults is a fixed schedule injected verbatim.
+	Faults []Fault
+
+	// NodeCrashesPerDay is the cluster-wide crash rate; CrashDowntime is
+	// how long each crashed node stays down.
+	NodeCrashesPerDay float64
+	CrashDowntime     time.Duration
+
+	// MembwDropsPerDay is the telemetry-dropout rate; MembwDropDuration is
+	// how long each dropout lasts.
+	MembwDropsPerDay  float64
+	MembwDropDuration time.Duration
+
+	// StragglersPerDay is the slowdown-window rate; StragglerFactor is the
+	// speed multiplier in (0, 1); StragglerDuration is the window length.
+	StragglersPerDay  float64
+	StragglerFactor   float64
+	StragglerDuration time.Duration
+
+	// JobFailureProb is each job's probability of one injected mid-run
+	// failure, decided by a per-job hash of Seed so the doomed set does not
+	// depend on scheduling decisions.
+	JobFailureProb float64
+
+	// MaxRetries is the per-job retry budget after fault kills (crashes
+	// and injected failures); 0 means DefaultMaxRetries. A job killed more
+	// than MaxRetries times is terminally failed and reported, never
+	// silently lost.
+	MaxRetries int
+	// RetryBackoff is the base sim-time backoff before a killed job is
+	// requeued; the delay doubles with each retry. 0 means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p Plan) Empty() bool {
+	return len(p.Faults) == 0 &&
+		p.NodeCrashesPerDay <= 0 &&
+		p.MembwDropsPerDay <= 0 &&
+		p.StragglersPerDay <= 0 &&
+		p.JobFailureProb <= 0
+}
+
+// Retries returns the effective retry budget.
+func (p Plan) Retries() int {
+	if p.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return p.MaxRetries
+}
+
+// Backoff returns the sim-time delay before requeuing a job killed for the
+// n-th time (n counts from 1): base backoff doubling per retry.
+func (p Plan) Backoff(n int) time.Duration {
+	base := p.RetryBackoff
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	if n < 1 {
+		n = 1
+	}
+	const maxBackoff = 24 * time.Hour
+	for i := 1; i < n; i++ {
+		base *= 2
+		if base >= maxBackoff {
+			return maxBackoff
+		}
+	}
+	if base > maxBackoff {
+		return maxBackoff
+	}
+	return base
+}
+
+// Validate checks the plan against a cluster of the given node count.
+func (p Plan) Validate(nodes int) error {
+	if nodes <= 0 {
+		return fmt.Errorf("chaos: node count must be positive, got %d", nodes)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"node crash rate", p.NodeCrashesPerDay},
+		{"membw dropout rate", p.MembwDropsPerDay},
+		{"straggler rate", p.StragglersPerDay},
+	} {
+		if r.v < 0 || math.IsNaN(r.v) || math.IsInf(r.v, 0) {
+			return fmt.Errorf("chaos: %s %g must be a finite non-negative rate", r.name, r.v)
+		}
+	}
+	if p.JobFailureProb < 0 || p.JobFailureProb > 1 {
+		return fmt.Errorf("chaos: job failure probability %g out of [0,1]", p.JobFailureProb)
+	}
+	hasRates := p.NodeCrashesPerDay > 0 || p.MembwDropsPerDay > 0 || p.StragglersPerDay > 0
+	if hasRates && p.Horizon <= 0 {
+		return fmt.Errorf("chaos: rate-based faults need a positive horizon, got %v", p.Horizon)
+	}
+	// StragglerFactor zero means "use the default"; anything else must be a
+	// genuine slowdown in (0, 1).
+	if p.StragglersPerDay > 0 && (p.StragglerFactor < 0 || p.StragglerFactor >= 1) {
+		return fmt.Errorf("chaos: straggler factor %g out of (0,1)", p.StragglerFactor)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"crash downtime", p.CrashDowntime},
+		{"membw drop duration", p.MembwDropDuration},
+		{"straggler duration", p.StragglerDuration},
+		{"retry backoff", p.RetryBackoff},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("chaos: %s must be non-negative, got %v", d.name, d.v)
+		}
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("chaos: max retries must be non-negative, got %d", p.MaxRetries)
+	}
+	for i, f := range p.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("chaos: fixed fault %d at negative time %v", i, f.At)
+		}
+		if f.Node < 0 || f.Node >= nodes {
+			return fmt.Errorf("chaos: fixed fault %d targets node %d out of [0,%d)", i, f.Node, nodes)
+		}
+		switch f.Kind {
+		case KindNodeCrash, KindNodeRecover, KindNodeDrain, KindNodeUndrain,
+			KindMembwDark, KindMembwRestore, KindStragglerEnd:
+		case KindStragglerStart:
+			if f.Factor <= 0 || f.Factor >= 1 {
+				return fmt.Errorf("chaos: fixed fault %d straggler factor %g out of (0,1)", i, f.Factor)
+			}
+		default:
+			return fmt.Errorf("chaos: fixed fault %d has unknown kind %v", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// poisson draws a Poisson-distributed count with the given mean (Knuth's
+// method; fault rates are small enough that the linear cost is irrelevant).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1_000_000 {
+			return k // unreachable for sane rates; bounds a corrupted mean
+		}
+	}
+}
+
+// Compile expands the plan into an explicit fault schedule for a cluster of
+// the given node count, ordered by time with a deterministic tie-break.
+// Every generated window fault carries its paired end event, even when the
+// end lands past the horizon, so rate-generated crashes always recover.
+func (p Plan) Compile(nodes int) ([]Fault, error) {
+	if err := p.Validate(nodes); err != nil {
+		return nil, err
+	}
+	faults := append([]Fault(nil), p.Faults...)
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	days := float64(p.Horizon) / float64(24*time.Hour)
+	window := func(rate float64, dur time.Duration, start, end Kind, factor float64) {
+		if dur <= 0 {
+			switch start {
+			case KindNodeCrash:
+				dur = DefaultCrashDowntime
+			case KindMembwDark:
+				dur = DefaultMembwDropDuration
+			default:
+				dur = DefaultStragglerDuration
+			}
+		}
+		for i := 0; i < poisson(rng, rate*days); i++ {
+			at := time.Duration(rng.Int63n(int64(p.Horizon)))
+			nid := rng.Intn(nodes)
+			faults = append(faults,
+				Fault{At: at, Kind: start, Node: nid, Factor: factor},
+				Fault{At: at + dur, Kind: end, Node: nid, Factor: factor},
+			)
+		}
+	}
+	window(p.NodeCrashesPerDay, p.CrashDowntime, KindNodeCrash, KindNodeRecover, 0)
+	window(p.MembwDropsPerDay, p.MembwDropDuration, KindMembwDark, KindMembwRestore, 0)
+	factor := p.StragglerFactor
+	if factor <= 0 {
+		factor = DefaultStragglerFactor
+	}
+	window(p.StragglersPerDay, p.StragglerDuration, KindStragglerStart, KindStragglerEnd, factor)
+
+	// Stable sort: equal-time faults keep generation order, which is itself
+	// deterministic, so the schedule is fully reproducible.
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	return faults, nil
+}
+
+// splitmix64 is the SplitMix64 mixing function: a high-quality, allocation-
+// free hash used for per-job failure draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit converts a hash to a float in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// JobFailure reports whether the plan dooms job id to one injected mid-run
+// failure and, if so, at which fraction of the attempt's work the failure
+// strikes. The draw hashes (Seed, id) so the doomed set is a pure function
+// of the plan — independent of scheduling order, which keeps the
+// metamorphic determinism properties simple to state and test.
+func (p Plan) JobFailure(id job.ID) (frac float64, fails bool) {
+	if p.JobFailureProb <= 0 {
+		return 0, false
+	}
+	h := splitmix64(uint64(p.Seed) ^ splitmix64(uint64(id)))
+	if unit(h) >= p.JobFailureProb {
+		return 0, false
+	}
+	// Strike somewhere in the middle 60% of the attempt so the failure is
+	// neither instant (degenerate requeue loop) nor at the finish line.
+	return 0.2 + 0.6*unit(splitmix64(h)), true
+}

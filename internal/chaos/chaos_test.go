@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+func TestEmptyPlan(t *testing.T) {
+	var p Plan
+	if !p.Empty() {
+		t.Error("zero plan should be empty")
+	}
+	faults, err := p.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 0 {
+		t.Errorf("empty plan compiled to %d faults", len(faults))
+	}
+	if _, fails := p.JobFailure(1); fails {
+		t.Error("empty plan dooms a job")
+	}
+	for _, q := range []Plan{
+		{NodeCrashesPerDay: 0.1, Horizon: time.Hour},
+		{Faults: []Fault{{Kind: KindNodeCrash}}},
+		{JobFailureProb: 0.5},
+	} {
+		if q.Empty() {
+			t.Errorf("plan %+v should not be empty", q)
+		}
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+	}{
+		{"negative rate", Plan{NodeCrashesPerDay: -1, Horizon: time.Hour}},
+		{"rate without horizon", Plan{NodeCrashesPerDay: 1}},
+		{"probability above one", Plan{JobFailureProb: 1.5}},
+		{"negative probability", Plan{JobFailureProb: -0.1}},
+		{"straggler factor one", Plan{StragglersPerDay: 1, StragglerFactor: 1, Horizon: time.Hour}},
+		{"negative downtime", Plan{CrashDowntime: -time.Minute}},
+		{"negative retries", Plan{MaxRetries: -1}},
+		{"fault at negative time", Plan{Faults: []Fault{{At: -1, Kind: KindNodeCrash}}}},
+		{"fault on unknown node", Plan{Faults: []Fault{{Kind: KindNodeCrash, Node: 99}}}},
+		{"fault with unknown kind", Plan{Faults: []Fault{{Kind: Kind(42)}}}},
+		{"straggler fault without factor", Plan{Faults: []Fault{{Kind: KindStragglerStart}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(4); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.p)
+		}
+	}
+	if err := (Plan{}).Validate(0); err == nil {
+		t.Error("Validate accepted a zero-node cluster")
+	}
+}
+
+func TestCompileIsDeterministic(t *testing.T) {
+	p := Plan{
+		Seed:              11,
+		Horizon:           7 * 24 * time.Hour,
+		NodeCrashesPerDay: 0.5,
+		MembwDropsPerDay:  1.5,
+		StragglersPerDay:  1,
+		Faults:            []Fault{{At: time.Hour, Kind: KindNodeDrain, Node: 2}},
+	}
+	a, err := p.Compile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Compile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan compiled to different schedules")
+	}
+	if len(a) < 3 {
+		t.Fatalf("expected a non-trivial schedule, got %d faults", len(a))
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].At < a[j].At }) {
+		t.Error("schedule is not time-ordered")
+	}
+
+	q := p
+	q.Seed = 12
+	c, err := q.Compile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds compiled to identical schedules")
+	}
+}
+
+// TestCompilePairsWindows: every rate-generated window fault must carry its
+// end event so crashed nodes always recover and dark telemetry always
+// returns — otherwise chaotic runs could wedge forever.
+func TestCompilePairsWindows(t *testing.T) {
+	p := Plan{
+		Seed:              3,
+		Horizon:           10 * 24 * time.Hour,
+		NodeCrashesPerDay: 1,
+		MembwDropsPerDay:  2,
+		StragglersPerDay:  1,
+	}
+	faults, err := p.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opens := map[Kind]Kind{
+		KindNodeCrash:      KindNodeRecover,
+		KindMembwDark:      KindMembwRestore,
+		KindStragglerStart: KindStragglerEnd,
+	}
+	for start, end := range opens {
+		starts, ends := 0, 0
+		for _, f := range faults {
+			switch f.Kind {
+			case start:
+				starts++
+			case end:
+				ends++
+			}
+		}
+		if starts == 0 {
+			t.Errorf("%v: rate produced no events over 10 days", start)
+		}
+		if starts != ends {
+			t.Errorf("%v: %d starts but %d ends", start, starts, ends)
+		}
+	}
+}
+
+func TestJobFailureDraw(t *testing.T) {
+	p := Plan{Seed: 5, JobFailureProb: 0.3}
+	doomed := 0
+	const n = 10_000
+	for id := job.ID(1); id <= n; id++ {
+		frac, fails := p.JobFailure(id)
+		f2, again := p.JobFailure(id)
+		if fails != again || frac != f2 {
+			t.Fatalf("job %d: failure draw is not deterministic", id)
+		}
+		if fails {
+			doomed++
+			if frac < 0.2 || frac > 0.8 {
+				t.Fatalf("job %d: failure fraction %g out of [0.2, 0.8]", id, frac)
+			}
+		}
+	}
+	got := float64(doomed) / n
+	if got < 0.25 || got > 0.35 {
+		t.Errorf("doomed fraction %.3f far from configured 0.3", got)
+	}
+}
+
+func TestBackoffDoubles(t *testing.T) {
+	p := Plan{RetryBackoff: time.Minute}
+	for n, want := range map[int]time.Duration{
+		1: time.Minute,
+		2: 2 * time.Minute,
+		3: 4 * time.Minute,
+	} {
+		if got := p.Backoff(n); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if got := (Plan{}).Backoff(1); got != DefaultRetryBackoff {
+		t.Errorf("default Backoff(1) = %v, want %v", got, DefaultRetryBackoff)
+	}
+	if (Plan{}).Retries() != DefaultMaxRetries {
+		t.Error("zero MaxRetries should fall back to the default budget")
+	}
+	// The shift clamp must keep huge retry counts finite and positive.
+	if got := (Plan{}).Backoff(500); got <= 0 {
+		t.Errorf("Backoff(500) = %v, want positive", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{
+		KindNodeCrash, KindNodeRecover, KindNodeDrain, KindNodeUndrain,
+		KindMembwDark, KindMembwRestore, KindStragglerStart, KindStragglerEnd,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -97,6 +97,35 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// NodeState is a node's availability for placement.
+type NodeState int
+
+const (
+	// NodeUp accepts placements; the zero value, so existing construction
+	// paths start every node in service.
+	NodeUp NodeState = iota
+	// NodeDraining keeps its current jobs but accepts no new placements
+	// (planned maintenance: let work finish, place nothing new).
+	NodeDraining
+	// NodeDown hosts nothing: the fault injector kills its jobs on crash
+	// and the node accepts no placements until it recovers.
+	NodeDown
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeDraining:
+		return "draining"
+	case NodeDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
 // nodeShare is the per-node slice of one job's allocation.
 type nodeShare struct {
 	cores int
@@ -118,14 +147,34 @@ type Node struct {
 
 	usedCores int
 	usedGPUs  int
+	state     NodeState
 	jobs      map[job.ID]nodeShare
 }
 
-// FreeCores returns the unallocated core count.
-func (n *Node) FreeCores() int { return n.Cores - n.usedCores }
+// State returns the node's availability state.
+func (n *Node) State() NodeState { return n.state }
 
-// FreeGPUs returns the unallocated GPU count.
-func (n *Node) FreeGPUs() int { return n.GPUs - n.usedGPUs }
+// Up reports whether the node accepts new placements.
+func (n *Node) Up() bool { return n.state == NodeUp }
+
+// FreeCores returns the unallocated core count. A node that is not up
+// reports zero free cores, so every placement path — Fits, FindNodes and
+// the schedulers' own scans — excludes it without knowing about states.
+func (n *Node) FreeCores() int {
+	if n.state != NodeUp {
+		return 0
+	}
+	return n.Cores - n.usedCores
+}
+
+// FreeGPUs returns the unallocated GPU count (zero while the node is
+// draining or down, mirroring FreeCores).
+func (n *Node) FreeGPUs() int {
+	if n.state != NodeUp {
+		return 0
+	}
+	return n.GPUs - n.usedGPUs
+}
 
 // UsedCores returns the allocated core count.
 func (n *Node) UsedCores() int { return n.usedCores }
@@ -342,6 +391,36 @@ func (c *Cluster) Resize(id job.ID, newCores int) error {
 	return nil
 }
 
+// SetNodeState transitions node id to st. The cluster only does the
+// accounting: it does not kill or migrate jobs. The fault injector in
+// internal/sim kills the jobs of a crashed node before marking it down;
+// draining keeps jobs in place. Allocations held on a non-up node remain
+// valid and releasable so completions and kills always settle cleanly.
+func (c *Cluster) SetNodeState(id int, st NodeState) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	switch st {
+	case NodeUp, NodeDraining, NodeDown:
+		n.state = st
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown node state %v", st)
+	}
+}
+
+// UnavailableNodes returns the IDs of nodes not currently up, sorted.
+func (c *Cluster) UnavailableNodes() []int {
+	var out []int
+	for _, n := range c.nodes {
+		if n.state != NodeUp {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
 // Placement returns the node IDs hosting job id.
 func (c *Cluster) Placement(id job.ID) ([]int, bool) {
 	nodeIDs, ok := c.placements[id]
@@ -464,6 +543,9 @@ func (c *Cluster) CheckInvariants() error {
 		}
 		if n.usedGPUs < 0 || n.usedGPUs > n.GPUs {
 			return fmt.Errorf("node %d: used gpus %d out of [0,%d]", n.ID, n.usedGPUs, n.GPUs)
+		}
+		if n.state == NodeDown && len(n.jobs) > 0 {
+			return fmt.Errorf("node %d: down but still hosts %d job(s)", n.ID, len(n.jobs))
 		}
 	}
 	//coda:ordered-ok error reporting on already-broken invariants; any witness will do

@@ -426,3 +426,85 @@ func TestAllocateReleaseProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNodeStateGatesPlacement: a node that is draining or down reports no
+// free resources (so no placement path selects it), while its existing
+// allocations stay releasable; coming back up restores placement.
+func TestNodeStateGatesPlacement(t *testing.T) {
+	c := MustNew(smallConfig())
+	if err := c.Allocate(1, job.Allocation{NodeIDs: []int{0}, CPUCores: 2, GPUs: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.SetNodeState(0, NodeDraining); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := c.Node(0)
+	if n.Up() || n.State() != NodeDraining {
+		t.Fatalf("node state = %v, want draining", n.State())
+	}
+	if n.FreeCores() != 0 || n.FreeGPUs() != 0 {
+		t.Errorf("draining node reports %d cores %d gpus free, want 0", n.FreeCores(), n.FreeGPUs())
+	}
+	if n.Fits(1, 0) {
+		t.Error("draining node still fits new work")
+	}
+	if err := c.Allocate(2, job.Allocation{NodeIDs: []int{0}, CPUCores: 1}); err == nil {
+		t.Error("Allocate succeeded on a draining node")
+	}
+	// Existing work drains normally.
+	if err := c.CheckInvariants(); err != nil {
+		t.Errorf("draining with resident job must be legal: %v", err)
+	}
+	if err := c.Release(1); err != nil {
+		t.Fatalf("release on draining node: %v", err)
+	}
+
+	if err := c.SetNodeState(0, NodeDown); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UnavailableNodes(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("UnavailableNodes = %v, want [0]", got)
+	}
+	if ids := c.FindNodes(4, 1, 0, false); ids != nil {
+		t.Errorf("FindNodes placed on a cluster with a down node: %v", ids)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Errorf("empty down node must be legal: %v", err)
+	}
+
+	if err := c.SetNodeState(0, NodeUp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(3, job.Allocation{NodeIDs: []int{0}, CPUCores: 2}); err != nil {
+		t.Errorf("recovered node rejects work: %v", err)
+	}
+}
+
+// TestDownNodeHostingJobsViolatesInvariants: the simulator must kill a
+// crashed node's jobs before marking it down; the checker enforces it.
+func TestDownNodeHostingJobsViolatesInvariants(t *testing.T) {
+	c := MustNew(smallConfig())
+	if err := c.Allocate(1, job.Allocation{NodeIDs: []int{1}, CPUCores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeState(1, NodeDown); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err == nil {
+		t.Error("down node hosting a job passed invariants")
+	}
+}
+
+func TestSetNodeStateErrors(t *testing.T) {
+	c := MustNew(smallConfig())
+	if err := c.SetNodeState(99, NodeDown); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := c.SetNodeState(0, NodeState(42)); err == nil {
+		t.Error("unknown state accepted")
+	}
+	if NodeUp.String() == "" || NodeDraining.String() == "" || NodeDown.String() == "" || NodeState(9).String() == "" {
+		t.Error("NodeState strings must be non-empty")
+	}
+}

@@ -213,6 +213,15 @@ func (a *Allocator) OnCompleted(j *job.Job, finalCores int, queueTime, runTime t
 	})
 }
 
+// Forget drops a fault-killed job's tuning state without logging a history
+// record: an aborted attempt's profile belongs to a stale placement, and the
+// history log must only seed Nstart from runs that actually finished. A
+// retried job starts a fresh tuning session via OnStarted.
+func (a *Allocator) Forget(id job.ID) {
+	delete(a.tuning, id)
+	delete(a.settled, id)
+}
+
 // Settled reports the tuned operating point of a job, if tuning finished.
 func (a *Allocator) Settled(id job.ID) (settleInfo, bool) {
 	info, ok := a.settled[id]

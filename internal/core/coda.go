@@ -139,8 +139,20 @@ func (s *Scheduler) Submit(j *job.Job) {
 	if _, seen := s.arrived[j.ID]; !seen {
 		s.arrived[j.ID] = s.env.Now()
 	} else if !j.IsGPU() {
-		// A requeued preempted CPU job: back to the head (§V-C).
+		// A requeued preempted (or fault-killed) CPU job: back to the head
+		// (§V-C).
 		s.arrays.RequeueCPUFront(j)
+		s.drain()
+		return
+	} else {
+		// A fault-killed training job retrying: back to its array head with
+		// a fresh allocator seed — the crash was not the job's fault, so it
+		// does not queue behind later arrivals.
+		cores := s.alloc.InitialCores(j)
+		if s.cfg.DisableAdaptiveAllocation {
+			cores = j.Request.CPUCores
+		}
+		s.arrays.RequeueGPUFront(j, cores)
 		s.drain()
 		return
 	}
@@ -188,6 +200,30 @@ func (s *Scheduler) OnJobCompleted(j *job.Job) {
 		s.arrays.Rebalance(s.log.Stats(), s.gpus)
 	}
 	s.drain()
+}
+
+// OnJobKilled implements sched.Scheduler: a fault killed the job and the
+// simulator already released its cluster resources. Every component drops
+// its per-job state — array budgets and fair-share charges, eliminator
+// interventions, allocator tuning sessions — but unlike a completion,
+// nothing is written to the history log: an aborted attempt must not teach
+// Nstart. Arrival and first-start times survive so a retried job keeps its
+// original queueing record.
+func (s *Scheduler) OnJobKilled(j *job.Job) {
+	s.arrays.OnKilled(j)
+	if s.elim != nil {
+		s.elim.Forget(j.ID)
+	}
+	s.alloc.Forget(j.ID)
+	s.drain()
+}
+
+// CheckInvariants validates the scheduler's internal bookkeeping: node
+// budgets, fair-share accountants, and that no job is simultaneously
+// running and queued. The simulator's invariant checker calls this after
+// every event when enabled.
+func (s *Scheduler) CheckInvariants() error {
+	return s.arrays.CheckInvariants()
 }
 
 // Tick implements sched.Scheduler: profiling steps, contention checks and

@@ -19,6 +19,9 @@ func testOptions() sim.Options {
 		BandwidthGBs: 120, PCIeGBs: 16,
 	}
 	opts.SampleInterval = time.Minute
+	// Run every core test under the simulator's per-event invariant checker,
+	// which also folds in the CODA scheduler's own CheckInvariants.
+	opts.Invariants = true
 	return opts
 }
 

@@ -48,6 +48,9 @@ type Eliminator struct {
 	nextCheck time.Duration
 	// interventions counts total throttle/halve actions (§VI-E reporting).
 	interventions int
+	// degraded counts node checks skipped because bandwidth telemetry was
+	// dark (chaos dropouts): the eliminator held its last decision.
+	degraded int
 }
 
 // intervention records how a CPU job was restrained.
@@ -87,6 +90,10 @@ func (e *Eliminator) Bind(env sched.Env) { e.env = env }
 
 // Interventions returns the total action count.
 func (e *Eliminator) Interventions() int { return e.interventions }
+
+// Degraded returns how many node checks ran blind because bandwidth
+// telemetry was unavailable.
+func (e *Eliminator) Degraded() int { return e.degraded }
 
 // Forget drops intervention state for a completed job.
 func (e *Eliminator) Forget(id job.ID) { delete(e.throttled, id) }
@@ -129,10 +136,15 @@ func (e *Eliminator) trainingJobDegraded(nid int) bool {
 	return false
 }
 
-// checkNode arms or releases interventions on one node.
+// checkNode arms or releases interventions on one node. When the node's
+// bandwidth telemetry is unavailable (a fault-injected dropout), the
+// eliminator degrades gracefully: it holds every standing throttle decision
+// — acting on a stale or absent reading could hurt either side — and counts
+// the blind check so runs report their degraded-mode exposure.
 func (e *Eliminator) checkNode(nid int) {
 	meter, err := e.env.Meter(nid)
 	if err != nil {
+		e.degraded++
 		return
 	}
 	util := meter.Utilization()

@@ -179,6 +179,17 @@ func (m *MultiArray) RequeueCPUFront(j *job.Job) {
 	q.PushFront(j)
 }
 
+// RequeueGPUFront puts a fault-killed training job back at its array head
+// with the given desired core count: a job that already waited once does
+// not queue behind later arrivals after a crash that was not its fault.
+func (m *MultiArray) RequeueGPUFront(j *job.Job, desiredCores int) {
+	if desiredCores < 1 {
+		desiredCores = 1
+	}
+	m.desired[j.ID] = desiredCores
+	m.queueFor(m.gpuQueues, j.Tenant).PushFront(j)
+}
+
 func (m *MultiArray) pushBack(queues map[job.TenantID]*list.List, j *job.Job) {
 	m.queueFor(queues, j.Tenant).PushBack(j)
 }
@@ -191,6 +202,11 @@ func (m *MultiArray) queueFor(queues map[job.TenantID]*list.List, t job.TenantID
 	}
 	return q
 }
+
+// OnKilled releases a fault-killed job's bookkeeping. The cleanup is the
+// completion cleanup: budgets, run info, desired cores and fair-share
+// charges all go; the caller decides whether a retry clone is requeued.
+func (m *MultiArray) OnKilled(j *job.Job) { m.OnCompleted(j) }
 
 // OnCompleted releases a finished job's bookkeeping.
 func (m *MultiArray) OnCompleted(j *job.Job) {
@@ -631,7 +647,9 @@ func (m *MultiArray) Rebalance(stats history.Stats, gpusPerNode int) {
 	}
 }
 
-// CheckInvariants validates all node budgets and accountants.
+// CheckInvariants validates all node budgets and accountants, and that no
+// job sits in a queue while also running — the double-booking a buggy
+// requeue path would produce.
 func (m *MultiArray) CheckInvariants() error {
 	for nid, b := range m.budgets {
 		if err := b.checkInvariants(); err != nil {
@@ -641,5 +659,22 @@ func (m *MultiArray) CheckInvariants() error {
 	if err := m.cpuAcc.CheckInvariants(); err != nil {
 		return err
 	}
-	return m.gpuAcc.CheckInvariants()
+	if err := m.gpuAcc.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, queues := range []map[job.TenantID]*list.List{m.cpuQueues, m.gpuQueues} {
+		//coda:ordered-ok error reporting on already-broken invariants; any witness will do
+		for tenant, q := range queues {
+			for elem := q.Front(); elem != nil; elem = elem.Next() {
+				j, ok := elem.Value.(*job.Job)
+				if !ok {
+					return fmt.Errorf("tenant %d: queue holds a non-job entry", tenant)
+				}
+				if _, isRunning := m.running[j.ID]; isRunning {
+					return fmt.Errorf("job %d is running and queued simultaneously", j.ID)
+				}
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,45 @@
+package metrics
+
+import "time"
+
+// FaultCounters aggregates what the chaos layer did to a run and how the
+// system absorbed it. The zero value (all counters zero) is what every
+// fault-free run reports, so comparisons against pre-chaos baselines stay
+// trivial.
+type FaultCounters struct {
+	// NodeCrashes / NodeRecoveries count node-down and node-up transitions.
+	NodeCrashes, NodeRecoveries int
+	// MembwDropouts counts memory-bandwidth telemetry dark windows.
+	MembwDropouts int
+	// Stragglers counts injected slowdown windows.
+	Stragglers int
+	// JobKills counts fault-induced job aborts (crash or injected failure);
+	// JobFailures is the injected-failure subset.
+	JobKills, JobFailures int
+	// Requeues counts killed jobs put back in queue after backoff;
+	// TerminalFailures counts jobs that exhausted their retry budget.
+	Requeues, TerminalFailures int
+	// DegradedSamples counts node-samples taken while bandwidth telemetry
+	// was dark — the eliminator's degraded-mode exposure.
+	DegradedSamples int
+	// GoodputLost is attempt progress destroyed by kills: work a job had
+	// completed in an attempt that then had to restart from scratch.
+	GoodputLost time.Duration
+}
+
+// Any reports whether any fault activity was recorded.
+func (c FaultCounters) Any() bool { return c != (FaultCounters{}) }
+
+// Add accumulates another run's counters (for sweep aggregation).
+func (c *FaultCounters) Add(o FaultCounters) {
+	c.NodeCrashes += o.NodeCrashes
+	c.NodeRecoveries += o.NodeRecoveries
+	c.MembwDropouts += o.MembwDropouts
+	c.Stragglers += o.Stragglers
+	c.JobKills += o.JobKills
+	c.JobFailures += o.JobFailures
+	c.Requeues += o.Requeues
+	c.TerminalFailures += o.TerminalFailures
+	c.DegradedSamples += o.DegradedSamples
+	c.GoodputLost += o.GoodputLost
+}

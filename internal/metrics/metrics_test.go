@@ -323,3 +323,19 @@ func TestDownsampleMeanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFaultCounters(t *testing.T) {
+	var c FaultCounters
+	if c.Any() {
+		t.Error("zero counters report activity")
+	}
+	c.Add(FaultCounters{NodeCrashes: 1, JobKills: 2, GoodputLost: time.Minute})
+	c.Add(FaultCounters{NodeCrashes: 1, Requeues: 2, DegradedSamples: 5})
+	if !c.Any() {
+		t.Error("non-zero counters report no activity")
+	}
+	want := FaultCounters{NodeCrashes: 2, JobKills: 2, Requeues: 2, DegradedSamples: 5, GoodputLost: time.Minute}
+	if c != want {
+		t.Errorf("accumulated counters = %+v, want %+v", c, want)
+	}
+}

@@ -65,6 +65,13 @@ func (d *DRF) OnJobCompleted(j *job.Job) {
 	d.drain()
 }
 
+// OnJobKilled implements Scheduler: a fault-killed job stops consuming its
+// tenant's dominant share exactly like a completion.
+func (d *DRF) OnJobKilled(j *job.Job) {
+	_ = d.accountant.Refund(j.ID)
+	d.drain()
+}
+
 // Tick implements Scheduler.
 func (d *DRF) Tick() { d.drain() }
 

@@ -50,6 +50,10 @@ func (f *FIFO) Submit(j *job.Job) {
 // OnJobCompleted implements Scheduler.
 func (f *FIFO) OnJobCompleted(*job.Job) { f.drain() }
 
+// OnJobKilled implements Scheduler. FIFO keeps no per-running-job state;
+// the freed resources may start queued work.
+func (f *FIFO) OnJobKilled(*job.Job) { f.drain() }
+
 // Tick implements Scheduler.
 func (f *FIFO) Tick() { f.drain() }
 

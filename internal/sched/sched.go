@@ -54,6 +54,12 @@ type Scheduler interface {
 	// OnJobCompleted notifies that a job finished and its resources were
 	// already released.
 	OnJobCompleted(j *job.Job)
+	// OnJobKilled notifies that a running job was killed by a fault (node
+	// crash or injected failure) and its resources were already released.
+	// The scheduler must drop every bookkeeping entry for the job; if the
+	// job has retry budget left, the simulator re-Submits a fresh clone
+	// after its backoff expires.
+	OnJobKilled(j *job.Job)
 	// Tick runs periodic policy work (scheduling passes, profiling steps,
 	// contention checks). The simulator calls it after every arrival and
 	// completion batch and on a fixed cadence.

@@ -50,6 +50,10 @@ func (s *Static) Submit(j *job.Job) {
 // OnJobCompleted implements Scheduler.
 func (s *Static) OnJobCompleted(*job.Job) { s.drain() }
 
+// OnJobKilled implements Scheduler. The static split keeps no
+// per-running-job state; freed partition slices may start queued work.
+func (s *Static) OnJobKilled(*job.Job) { s.drain() }
+
 // Tick implements Scheduler.
 func (s *Static) Tick() { s.drain() }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,8 +21,19 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // Cluster implements sched.Env.
 func (s *Simulator) Cluster() *cluster.Cluster { return s.cluster }
 
-// Meter implements sched.Env.
+// ErrTelemetryDark marks a node whose memory-bandwidth telemetry is
+// currently unavailable (a fault-injected dropout). The underlying physics
+// keep running — only the scheduler's view goes dark.
+var ErrTelemetryDark = errors.New("sim: membw telemetry unavailable")
+
+// Meter implements sched.Env. During an injected telemetry dropout the
+// node's meter readings fail with ErrTelemetryDark; consumers like the
+// contention eliminator must degrade gracefully (hold their last decision)
+// rather than act on stale data.
 func (s *Simulator) Meter(nodeID int) (*membw.Meter, error) {
+	if s.chaosOn && nodeID >= 0 && nodeID < len(s.darkDepth) && s.darkDepth[nodeID] > 0 {
+		return nil, fmt.Errorf("%w: node %d", ErrTelemetryDark, nodeID)
+	}
 	return s.monitor.Node(nodeID)
 }
 
@@ -103,6 +115,7 @@ func (s *Simulator) StartJob(id job.ID, alloc job.Allocation) error {
 	r.speed = s.computeSpeed(r)
 	s.scheduleCompletion(r)
 	s.refreshNodes(alloc.NodeIDs)
+	s.armJobFailure(r)
 	return nil
 }
 

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+// invariantChecker is implemented by schedulers that can validate their own
+// bookkeeping (core.Scheduler checks array budgets, fair-share accountants
+// and queue/running disjointness). The simulator folds it into its
+// per-event check when present.
+type invariantChecker interface {
+	CheckInvariants() error
+}
+
+// CheckInvariants validates the simulator's full accounting after an event:
+//
+//  1. Cluster capacity: no node over-committed on cores or GPUs, share
+//     sums match counters, down nodes host nothing.
+//  2. Job-state disjointness: no job is simultaneously pending, running
+//     and/or waiting out a retry backoff.
+//  3. Placement consistency: every running job holds a cluster placement
+//     on exactly its allocation's nodes, and every job holding resources
+//     on any node is running (no leaked allocations).
+//  4. Bandwidth accounting: the set of jobs registered on each node's
+//     memory-bandwidth meter equals the set of jobs occupying the node.
+//     (Demand may exceed capacity — that is contention, the phenomenon
+//     under study — but accounting must balance.)
+//  5. PCIe load is never negative.
+//  6. Job conservation: arrivals left + pending + running + retrying +
+//     completed + terminally failed = admitted. No admitted job is ever
+//     lost.
+//
+// Behind Options.Invariants it runs after every event; tests enable it
+// everywhere, cmd/coda-sim behind -invariants.
+func (s *Simulator) CheckInvariants() error {
+	if err := s.cluster.CheckInvariants(); err != nil {
+		return err
+	}
+
+	// Disjointness of the three job states.
+	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
+	for id := range s.pending {
+		if _, ok := s.running[id]; ok {
+			return fmt.Errorf("job %d is pending and running simultaneously", id)
+		}
+	}
+	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
+	for id := range s.retrying {
+		if _, ok := s.pending[id]; ok {
+			return fmt.Errorf("job %d is retrying and pending simultaneously", id)
+		}
+		if _, ok := s.running[id]; ok {
+			return fmt.Errorf("job %d is retrying and running simultaneously", id)
+		}
+	}
+
+	// Placement consistency, in sorted ID order for deterministic reports.
+	ids := make([]job.ID, 0, len(s.running))
+	//coda:ordered-ok collected IDs are fully ordered by the sort below
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := s.running[id]
+		placed, ok := s.cluster.Placement(id)
+		if !ok {
+			return fmt.Errorf("running job %d holds no cluster placement", id)
+		}
+		if len(placed) != len(r.alloc.NodeIDs) {
+			return fmt.Errorf("running job %d placed on %d nodes, allocation names %d",
+				id, len(placed), len(r.alloc.NodeIDs))
+		}
+	}
+	for _, n := range s.cluster.Nodes() {
+		for _, id := range n.Jobs() {
+			if _, ok := s.running[id]; !ok {
+				return fmt.Errorf("node %d holds resources of job %d which is not running (leaked allocation)", n.ID, id)
+			}
+		}
+		// Bandwidth accounting identity: meter registrations == occupancy.
+		meter, err := s.monitor.Node(n.ID)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", n.ID, err)
+		}
+		usages := meter.Jobs()
+		if len(usages) != n.JobCount() {
+			return fmt.Errorf("node %d: meter tracks %d jobs, node hosts %d", n.ID, len(usages), n.JobCount())
+		}
+		for _, u := range usages {
+			if _, _, ok := n.JobShare(u.ID); !ok {
+				return fmt.Errorf("node %d: meter tracks job %d which holds no share there", n.ID, u.ID)
+			}
+		}
+	}
+
+	for nid, load := range s.pcieLoad {
+		if load < 0 {
+			return fmt.Errorf("node %d: negative pcie load %g", nid, load)
+		}
+	}
+
+	// Conservation: no admitted job is ever lost.
+	accounted := s.arrivalsLeft + len(s.pending) + len(s.running) + len(s.retrying) +
+		s.completedJobs + s.terminalJobs
+	if accounted != s.admitted {
+		return fmt.Errorf("job conservation broken: %d arrivals left + %d pending + %d running + %d retrying + %d completed + %d terminal = %d, admitted %d",
+			s.arrivalsLeft, len(s.pending), len(s.running), len(s.retrying),
+			s.completedJobs, s.terminalJobs, accounted, s.admitted)
+	}
+
+	if ic, ok := s.scheduler.(invariantChecker); ok {
+		if err := ic.CheckInvariants(); err != nil {
+			return fmt.Errorf("scheduler: %w", err)
+		}
+	}
+	return nil
+}

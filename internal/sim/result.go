@@ -26,6 +26,13 @@ type JobStats struct {
 	Resizes int
 	// Preemptions counts how often the job was aborted and requeued.
 	Preemptions int
+	// Kills counts fault-induced aborts (node crashes, injected failures);
+	// Requeues counts post-backoff resubmissions.
+	Kills, Requeues int
+	// TerminallyFailed marks a job that exhausted its retry budget; LostWork
+	// is the work still outstanding when it was given up on.
+	TerminallyFailed bool
+	LostWork         time.Duration
 }
 
 // QueueTime returns the time from submission to first start (0 if the job
@@ -80,6 +87,10 @@ type Result struct {
 	// Throttles counts eliminator MBA interventions; Preemptions counts
 	// cross-array preemptions.
 	Throttles, Preemptions int
+
+	// Faults aggregates chaos activity: crashes, dropouts, kills, requeues,
+	// terminal failures and goodput lost. All-zero for fault-free runs.
+	Faults metrics.FaultCounters
 }
 
 func newResult(scheduler string) *Result {
@@ -145,6 +156,31 @@ func (r *Result) notePreemption(id job.ID) {
 }
 
 func (r *Result) noteThrottle(job.ID) { r.Throttles++ }
+
+// noteKill records a fault-induced abort and the attempt progress it wiped.
+func (r *Result) noteKill(id job.ID, lost time.Duration) {
+	r.Faults.JobKills++
+	r.Faults.GoodputLost += lost
+	if js, ok := r.Jobs[id]; ok {
+		js.Kills++
+	}
+}
+
+func (r *Result) noteRequeue(id job.ID) {
+	if js, ok := r.Jobs[id]; ok {
+		js.Requeues++
+	}
+}
+
+// noteTerminal records a job that exhausted its retry budget: it is
+// reported, never silently dropped.
+func (r *Result) noteTerminal(id job.ID, remaining time.Duration) {
+	r.Faults.TerminalFailures++
+	if js, ok := r.Jobs[id]; ok {
+		js.TerminallyFailed = true
+		js.LostWork = remaining
+	}
+}
 
 // coreBusyPeak is the OS-reported busy fraction of a fully-loaded
 // allocated core (decode/transform threads stall on disk and DMA waits).
@@ -234,6 +270,15 @@ func (s *Simulator) sample() {
 	_ = res.QueuedGPU.Add(s.now, float64(pendGPU))
 	_ = res.QueuedCPU.Add(s.now, float64(pendCPU))
 	_ = res.QueuedGPUDemand.Add(s.now, queuedDemand)
+
+	// Degraded-mode exposure: one count per dark node per sample.
+	if s.chaosOn {
+		for _, depth := range s.darkDepth {
+			if depth > 0 {
+				res.Faults.DegradedSamples++
+			}
+		}
+	}
 }
 
 // fragRate returns the fraction of the cluster's GPUs that are free yet

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/coda-repro/coda/internal/chaos"
 	"github.com/coda-repro/coda/internal/cluster"
 	"github.com/coda-repro/coda/internal/job"
 	"github.com/coda-repro/coda/internal/membw"
@@ -40,6 +41,16 @@ type Options struct {
 	Seed int64
 	// MaxVirtualTime aborts runaway simulations; 0 means no cap.
 	MaxVirtualTime time.Duration
+	// Faults is the deterministic fault-injection plan; the zero value
+	// injects nothing and leaves every code path of a fault-free run
+	// untouched (bit-identical to a build without chaos).
+	Faults chaos.Plan
+	// Invariants enables the always-on invariant checker: after every
+	// event the simulator validates cluster accounting, queue/running
+	// disjointness and job conservation, and Run fails fast on the first
+	// violation. Tests enable it everywhere; cmd/coda-sim exposes it as
+	// the -invariants flag.
+	Invariants bool
 }
 
 // DefaultOptions returns the standard run configuration.
@@ -71,6 +82,11 @@ func (o Options) Validate() error {
 	if o.MaxVirtualTime < 0 {
 		return fmt.Errorf("sim options: negative max virtual time %v", o.MaxVirtualTime)
 	}
+	if !o.Faults.Empty() {
+		if err := o.Faults.Validate(o.Cluster.TotalNodes()); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -82,7 +98,35 @@ const (
 	evCompletion
 	evTick
 	evSample
+	// evFault delivers one pre-compiled chaos fault.
+	evFault
+	// evResubmit requeues a fault-killed job after its retry backoff.
+	evResubmit
+	// evJobFail is an injected mid-run failure of one running attempt.
+	evJobFail
 )
+
+// String implements fmt.Stringer (for invariant-violation reports).
+func (k eventKind) String() string {
+	switch k {
+	case evArrival:
+		return "arrival"
+	case evCompletion:
+		return "completion"
+	case evTick:
+		return "tick"
+	case evSample:
+		return "sample"
+	case evFault:
+		return "fault"
+	case evResubmit:
+		return "resubmit"
+	case evJobFail:
+		return "job-failure"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
 
 // event is one heap entry. seq breaks time ties deterministically in
 // insertion order.
@@ -91,8 +135,14 @@ type event struct {
 	seq     int64
 	kind    eventKind
 	job     *job.Job // arrivals
-	jobID   job.ID   // completions
+	jobID   job.ID   // completions, resubmits
 	version int64    // completions: must match the running job's version
+	// fault is the chaos fault to apply (evFault).
+	fault chaos.Fault
+	// run pins an injected failure (evJobFail) to one specific attempt: if
+	// the attempt completed, was preempted or was crash-killed first, the
+	// pointer no longer matches s.running and the event is stale.
+	run *runningJob
 }
 
 // eventHeap is a min-heap on (at, seq).
@@ -167,6 +217,31 @@ type Simulator struct {
 	lastArrival  time.Duration
 	stallCount   int
 
+	// Chaos state. chaosOn gates every fault code path so a fault-free run
+	// never consults any of it.
+	chaosOn bool
+	// faultsLeft counts undelivered evFault events: while positive, the
+	// stall detector must not declare a wedge (a recovery may still come).
+	faultsLeft int
+	// downDepth / darkDepth count overlapping crash / telemetry-dark
+	// windows per node; slowFactors holds each node's active straggler
+	// multipliers. Slices, indexed by node ID, for deterministic scans.
+	downDepth   []int
+	darkDepth   []int
+	slowFactors [][]float64
+	// retries counts fault kills per job; retrying holds killed jobs
+	// waiting out their backoff; failedOnce marks jobs whose injected
+	// failure already fired.
+	retries    map[job.ID]int
+	retrying   map[job.ID]*job.Job
+	failedOnce map[job.ID]bool
+	// admitted / completedJobs / terminalJobs feed the job-conservation
+	// invariant: admitted = arrivalsLeft + pending + running + retrying +
+	// completed + terminal at every event boundary.
+	admitted      int
+	completedJobs int
+	terminalJobs  int
+
 	results *Result
 }
 
@@ -207,6 +282,24 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 		}
 		s.arrivalsLeft++
 	}
+	s.admitted = s.arrivalsLeft
+	if !opts.Faults.Empty() {
+		faults, err := opts.Faults.Compile(opts.Cluster.TotalNodes())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.chaosOn = true
+		s.downDepth = make([]int, opts.Cluster.TotalNodes())
+		s.darkDepth = make([]int, opts.Cluster.TotalNodes())
+		s.slowFactors = make([][]float64, opts.Cluster.TotalNodes())
+		s.retries = make(map[job.ID]int)
+		s.retrying = make(map[job.ID]*job.Job)
+		s.failedOnce = make(map[job.ID]bool)
+		for _, f := range faults {
+			s.push(&event{at: f.At, kind: evFault, fault: f})
+			s.faultsLeft++
+		}
+	}
 	s.results.LastArrival = s.lastArrival
 	scheduler.Bind(s)
 	return s, nil
@@ -220,7 +313,8 @@ func (s *Simulator) push(e *event) {
 
 // idle reports whether nothing remains to simulate.
 func (s *Simulator) idle() bool {
-	return s.arrivalsLeft == 0 && len(s.pending) == 0 && len(s.running) == 0
+	return s.arrivalsLeft == 0 && len(s.pending) == 0 && len(s.running) == 0 &&
+		len(s.retrying) == 0
 }
 
 // stallTicks is how many consecutive no-progress ticks (with nothing
@@ -233,6 +327,12 @@ const stallTicks = 10
 // nothing runs, and stallTicks consecutive ticks started nothing.
 func (s *Simulator) stalled() bool {
 	if s.arrivalsLeft != 0 || len(s.running) != 0 || len(s.pending) == 0 {
+		s.stallCount = 0
+		return false
+	}
+	if s.faultsLeft > 0 || len(s.retrying) > 0 {
+		// A pending fault (e.g. a node recovery) or a backoff resubmission
+		// can still change what is placeable: not a permanent wedge.
 		s.stallCount = 0
 		return false
 	}
@@ -285,6 +385,18 @@ func (s *Simulator) Run() (*Result, error) {
 			if !s.idle() {
 				s.push(&event{at: s.now + s.opts.SampleInterval, kind: evSample})
 			}
+		case evFault:
+			s.faultsLeft--
+			s.handleFault(e.fault)
+		case evResubmit:
+			s.handleResubmit(e.jobID)
+		case evJobFail:
+			s.handleJobFailure(e.jobID, e.run)
+		}
+		if s.opts.Invariants {
+			if err := s.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("sim: invariant violated after %v event at t=%v: %w", e.kind, s.now, err)
+			}
 		}
 		if s.idle() {
 			break
@@ -313,6 +425,7 @@ func (s *Simulator) handleCompletion(id job.ID, version int64) {
 		return
 	}
 	s.stopJob(r)
+	s.completedJobs++
 	s.results.noteCompletion(r, s.now)
 	s.scheduler.OnJobCompleted(r.job)
 }
@@ -421,9 +534,41 @@ func (s *Simulator) worstContention(nodeIDs []int) perfmodel.Contention {
 	return worst
 }
 
+// slowdown returns the straggler multiplier for a job spanning nodeIDs:
+// synchronous training paces at the slowest worker, so the job takes the
+// minimum over its nodes of each node's product of active factors.
+func (s *Simulator) slowdown(nodeIDs []int) float64 {
+	if !s.chaosOn {
+		return 1
+	}
+	worst := 1.0
+	for _, nid := range nodeIDs {
+		if nid < 0 || nid >= len(s.slowFactors) {
+			continue
+		}
+		f := 1.0
+		for _, sf := range s.slowFactors[nid] {
+			f *= sf
+		}
+		if f < worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
 // computeSpeed returns the job's progress rate at the current allocation
 // and contention.
 func (s *Simulator) computeSpeed(r *runningJob) float64 {
+	speed := s.baseSpeed(r) * s.slowdown(r.alloc.NodeIDs)
+	if speed < minSpeed {
+		return minSpeed
+	}
+	return speed
+}
+
+// baseSpeed is the fault-free progress rate (allocation + contention only).
+func (s *Simulator) baseSpeed(r *runningJob) float64 {
 	if r.model != nil {
 		speed, err := r.model.Speed(r.cfg(), r.job.BatchSize, r.alloc.CPUCores, s.worstContention(r.alloc.NodeIDs))
 		if err != nil || speed < minSpeed {

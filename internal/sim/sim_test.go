@@ -17,6 +17,9 @@ func testOptions() Options {
 		BandwidthGBs: 120, PCIeGBs: 16,
 	}
 	opts.SampleInterval = time.Minute
+	// Every sim test runs with the invariant checker hot: a bookkeeping bug
+	// anywhere fails the nearest test, not just the dedicated chaos suite.
+	opts.Invariants = true
 	return opts
 }
 
@@ -243,6 +246,7 @@ type envScheduler struct {
 func (e *envScheduler) Name() string            { return "env-test" }
 func (e *envScheduler) Bind(env sched.Env)      { e.env = env }
 func (e *envScheduler) OnJobCompleted(*job.Job) {}
+func (e *envScheduler) OnJobKilled(*job.Job)    {}
 func (e *envScheduler) Tick()                   {}
 func (e *envScheduler) Submit(j *job.Job) {
 	if !e.auto {
