@@ -7,15 +7,19 @@
 //
 //	coda-sim -sched coda -days 3 -cpu-jobs 7500 -gpu-jobs 2500 -nodes 80
 //	coda-sim -sched fifo -trace trace.jsonl
+//	coda-sim -sched coda -checkpoint-every 1h -checkpoint-dir ckpts
+//	coda-sim -sched coda -checkpoint-every 1h -checkpoint-dir ckpts -resume ckpts
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/coda-repro/coda/internal/chaos"
+	"github.com/coda-repro/coda/internal/checkpoint"
 	"github.com/coda-repro/coda/internal/core"
 	"github.com/coda-repro/coda/internal/experiments"
 	"github.com/coda-repro/coda/internal/history"
@@ -56,6 +60,12 @@ func run(args []string) error {
 	stragglerDuration := fs.Duration("straggler-duration", chaos.DefaultStragglerDuration, "how long each straggler window lasts")
 	jobFailProb := fs.Float64("job-fail-prob", 0, "probability each job suffers one injected mid-run failure")
 	maxRetries := fs.Int("max-retries", 0, "per-job retry budget after fault kills (0 = default)")
+	ckptEvery := fs.Duration("checkpoint-every", 0, "take a crash-consistent checkpoint every this much sim time (0 = off; needs -checkpoint-dir)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for checkpoint files")
+	resumePath := fs.String("resume", "", "resume from a checkpoint file (or the latest checkpoint in a directory); pass the same flags as the original run")
+	killRate := fs.Float64("controller-kills-per-day", 0, "expected scheduler-process kills per simulated day")
+	exitOnKill := fs.Bool("exit-on-controller-kill", false, "die on an injected controller kill instead of only counting it (restart with -resume)")
+	survivedKills := fs.Int("survived-kills", 0, "controller kills already survived by earlier processes of this run (advanced; -resume sets this automatically)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +118,23 @@ func run(args []string) error {
 		StragglerDuration: *stragglerDuration,
 		JobFailureProb:    *jobFailProb,
 		MaxRetries:        *maxRetries,
+
+		ControllerKillsPerDay: *killRate,
+	}
+	opts.ExitOnControllerKill = *exitOnKill
+
+	if *ckptEvery > 0 {
+		if *ckptDir == "" {
+			return fmt.Errorf("-checkpoint-every needs -checkpoint-dir")
+		}
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		dir := *ckptDir
+		opts.CheckpointEvery = *ckptEvery
+		opts.CheckpointSink = func(ck *sim.Checkpoint) error {
+			return checkpoint.WriteFile(filepath.Join(dir, checkpoint.FileName(ck.Now)), ck)
+		}
 	}
 
 	var policy sched.Scheduler
@@ -134,6 +161,9 @@ func run(args []string) error {
 		if coda == nil {
 			return fmt.Errorf("-history-in only applies to the coda scheduler")
 		}
+		if *resumePath != "" {
+			return fmt.Errorf("-history-in conflicts with -resume (the checkpoint carries the history log)")
+		}
 		f, ferr := os.Open(*historyIn)
 		if ferr != nil {
 			return ferr
@@ -147,9 +177,27 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	simulator, err := sim.New(opts, policy, jobs)
-	if err != nil {
+	var simulator *sim.Simulator
+	if *resumePath != "" {
+		path := *resumePath
+		if st, serr := os.Stat(path); serr == nil && st.IsDir() {
+			if path, err = checkpoint.Latest(path); err != nil {
+				return err
+			}
+		}
+		var ck sim.Checkpoint
+		if err := checkpoint.ReadFile(path, &ck); err != nil {
+			return err
+		}
+		if simulator, err = sim.Resume(&ck, policy, opts.CheckpointSink); err != nil {
+			return err
+		}
+		fmt.Printf("resumed from    %s (t=%v)\n", path, ck.Now.Truncate(time.Second))
+	} else if simulator, err = sim.New(opts, policy, jobs); err != nil {
 		return err
+	}
+	if *survivedKills > 0 {
+		simulator.SetSurvivedKills(*survivedKills)
 	}
 	res, err := simulator.Run()
 	if err != nil {
@@ -165,12 +213,7 @@ func run(args []string) error {
 		if coda == nil {
 			return fmt.Errorf("-history-out only applies to the coda scheduler")
 		}
-		f, ferr := os.Create(*historyOut)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		if err := coda.History().Save(f); err != nil {
+		if err := coda.History().SaveFile(*historyOut); err != nil {
 			return err
 		}
 	}
@@ -192,9 +235,9 @@ func printSummary(res *sim.Result, totalJobs int, elapsed time.Duration) {
 	if f := res.Faults; f.Any() {
 		fmt.Printf("faults           %d crashes, %d recoveries, %d membw dropouts, %d stragglers\n",
 			f.NodeCrashes, f.NodeRecoveries, f.MembwDropouts, f.Stragglers)
-		fmt.Printf("fault impact     %d kills (%d injected), %d requeues, %d terminal, %v goodput lost, %d degraded samples\n",
+		fmt.Printf("fault impact     %d kills (%d injected), %d requeues, %d terminal, %v goodput lost, %d degraded samples, %d controller kills\n",
 			f.JobKills, f.JobFailures, f.Requeues, f.TerminalFailures,
-			f.GoodputLost.Truncate(time.Second), f.DegradedSamples)
+			f.GoodputLost.Truncate(time.Second), f.DegradedSamples, f.ControllerKills)
 	}
 
 	fmt.Printf("gpu queue        p50 %v  p99 %v  >10min %.1f%%  >1h %.1f%%  =0 %.1f%%\n",

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
+	"github.com/coda-repro/coda/internal/sim"
 	"github.com/coda-repro/coda/internal/trace"
 )
 
@@ -173,5 +176,157 @@ func TestRunChaosIsReproducible(t *testing.T) {
 	}
 	if strip(a) != strip(b) {
 		t.Errorf("same-seed CLI runs diverged:\n--- A ---\n%s\n--- B ---\n%s", a, b)
+	}
+}
+
+// stripVolatile drops the wall-clock line and the resume banner, leaving the
+// deterministic summary for byte comparison.
+func stripVolatile(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "virtual time") || strings.HasPrefix(line, "resumed from") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// killArgs is a small chaotic run whose compiled schedule deterministically
+// contains controller kills.
+func killArgs() []string {
+	return append(tinyArgs("coda"),
+		"-invariants",
+		"-fault-seed", "6",
+		"-job-fail-prob", "0.1",
+		"-controller-kills-per-day", "100",
+	)
+}
+
+// TestCheckpointResumeCLI is the end-to-end crash-recovery drill: a run that
+// dies on injected controller kills is restarted from its latest checkpoint
+// until it completes, and the final summary must match an uninterrupted
+// baseline byte for byte.
+func TestCheckpointResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+
+	want, err := captureStdout(t, func() error { return run(killArgs()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(want, "controller kills") || strings.Contains(want, " 0 controller kills") {
+		t.Fatalf("baseline plan injected no controller kills:\n%s", want)
+	}
+
+	ckptFlags := []string{"-checkpoint-every", "10m", "-checkpoint-dir", dir, "-exit-on-controller-kill"}
+	deaths := 0
+	var got string
+	for {
+		if deaths > 30 {
+			t.Fatal("CLI crash-recovery did not converge")
+		}
+		args := append(killArgs(), ckptFlags...)
+		args = append(args, "-survived-kills", strconv.Itoa(deaths))
+		if _, statErr := os.Stat(dir); statErr == nil {
+			if entries, _ := os.ReadDir(dir); len(entries) > 0 {
+				args = append(args, "-resume", dir)
+			}
+		}
+		out, err := captureStdout(t, func() error { return run(args) })
+		if errors.Is(err, sim.ErrControllerKilled) {
+			deaths++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = out
+		break
+	}
+	if deaths == 0 {
+		t.Fatal("controller never died; the drill tested nothing")
+	}
+	if stripVolatile(got) != stripVolatile(want) {
+		t.Errorf("recovered run (after %d deaths) diverged from baseline:\n--- baseline ---\n%s\n--- recovered ---\n%s",
+			deaths, want, got)
+	}
+}
+
+// TestResumeRejectsCorruptCheckpoints: damaged checkpoint files must fail
+// loudly before any simulation starts.
+func TestResumeRejectsCorruptCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	// Produce at least one real checkpoint.
+	args := append(tinyArgs("coda"), "-checkpoint-every", "10m", "-checkpoint-dir", dir)
+	if _, err := captureStdout(t, func() error { return run(args) }); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoints written: %v", err)
+	}
+	real := filepath.Join(dir, entries[len(entries)-1].Name())
+	data, err := os.ReadFile(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := filepath.Join(t.TempDir(), "corrupt.ckpt")
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0x01
+	if err := os.WriteFile(corrupt, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(t.TempDir(), "truncated.ckpt")
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.ckpt")
+	if err := os.WriteFile(garbage, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, path := range map[string]string{
+		"corrupt": corrupt, "truncated": truncated, "garbage": garbage,
+		"missing": filepath.Join(dir, "checkpoint-99999999999999999999.ckpt"),
+	} {
+		if err := run(append(tinyArgs("coda"), "-resume", path)); err == nil {
+			t.Errorf("%s checkpoint should fail to resume", name)
+		}
+	}
+	// An empty directory has no checkpoint to resume from.
+	if err := run(append(tinyArgs("coda"), "-resume", t.TempDir())); err == nil {
+		t.Error("resuming from an empty directory should fail")
+	}
+}
+
+// TestCheckpointFlagValidation covers the flag plumbing errors.
+func TestCheckpointFlagValidation(t *testing.T) {
+	if err := run(append(tinyArgs("coda"), "-checkpoint-every", "10m")); err == nil {
+		t.Error("-checkpoint-every without -checkpoint-dir should fail")
+	}
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "history.json")
+	if err := run(append(tinyArgs("coda"), "-history-out", hist, "-checkpoint-every", "10m", "-checkpoint-dir", dir)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) < 2 {
+		t.Fatalf("expected checkpoints next to history: %v, %d entries", err, len(entries))
+	}
+	latest := ""
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			latest = filepath.Join(dir, e.Name())
+		}
+	}
+	if latest == "" {
+		t.Fatal("no checkpoint file written")
+	}
+	if err := run(append(tinyArgs("coda"), "-resume", latest, "-history-in", hist)); err == nil {
+		t.Error("-history-in with -resume should fail")
+	}
+	if err := run(append(tinyArgs("fifo"), "-resume", latest)); err == nil {
+		t.Error("resuming a coda checkpoint under fifo should fail")
 	}
 }

@@ -44,6 +44,12 @@ const (
 	KindStragglerStart
 	// KindStragglerEnd lifts a straggler slowdown.
 	KindStragglerEnd
+	// KindControllerKill kills the scheduler process itself. The cluster and
+	// its jobs are unaffected; whether the run dies or shrugs the kill off
+	// depends on the simulator's crash-recovery configuration (a run resumed
+	// from a checkpoint has already survived the kills before the
+	// checkpoint). Node and Factor are unused.
+	KindControllerKill
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +71,8 @@ func (k Kind) String() string {
 		return "straggler-start"
 	case KindStragglerEnd:
 		return "straggler-end"
+	case KindControllerKill:
+		return "controller-kill"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -137,6 +145,10 @@ type Plan struct {
 	// depend on scheduling decisions.
 	JobFailureProb float64
 
+	// ControllerKillsPerDay is the rate of scheduler-process kills. A kill
+	// does not touch the cluster; it tests the checkpoint/restore path.
+	ControllerKillsPerDay float64
+
 	// MaxRetries is the per-job retry budget after fault kills (crashes
 	// and injected failures); 0 means DefaultMaxRetries. A job killed more
 	// than MaxRetries times is terminally failed and reported, never
@@ -154,7 +166,8 @@ func (p Plan) Empty() bool {
 		p.NodeCrashesPerDay <= 0 &&
 		p.MembwDropsPerDay <= 0 &&
 		p.StragglersPerDay <= 0 &&
-		p.JobFailureProb <= 0
+		p.JobFailureProb <= 0 &&
+		p.ControllerKillsPerDay <= 0
 }
 
 // Retries returns the effective retry budget.
@@ -200,6 +213,7 @@ func (p Plan) Validate(nodes int) error {
 		{"node crash rate", p.NodeCrashesPerDay},
 		{"membw dropout rate", p.MembwDropsPerDay},
 		{"straggler rate", p.StragglersPerDay},
+		{"controller kill rate", p.ControllerKillsPerDay},
 	} {
 		if r.v < 0 || math.IsNaN(r.v) || math.IsInf(r.v, 0) {
 			return fmt.Errorf("chaos: %s %g must be a finite non-negative rate", r.name, r.v)
@@ -208,7 +222,8 @@ func (p Plan) Validate(nodes int) error {
 	if p.JobFailureProb < 0 || p.JobFailureProb > 1 {
 		return fmt.Errorf("chaos: job failure probability %g out of [0,1]", p.JobFailureProb)
 	}
-	hasRates := p.NodeCrashesPerDay > 0 || p.MembwDropsPerDay > 0 || p.StragglersPerDay > 0
+	hasRates := p.NodeCrashesPerDay > 0 || p.MembwDropsPerDay > 0 || p.StragglersPerDay > 0 ||
+		p.ControllerKillsPerDay > 0
 	if hasRates && p.Horizon <= 0 {
 		return fmt.Errorf("chaos: rate-based faults need a positive horizon, got %v", p.Horizon)
 	}
@@ -237,12 +252,13 @@ func (p Plan) Validate(nodes int) error {
 		if f.At < 0 {
 			return fmt.Errorf("chaos: fixed fault %d at negative time %v", i, f.At)
 		}
-		if f.Node < 0 || f.Node >= nodes {
+		// Controller kills target the scheduler, not a node.
+		if f.Kind != KindControllerKill && (f.Node < 0 || f.Node >= nodes) {
 			return fmt.Errorf("chaos: fixed fault %d targets node %d out of [0,%d)", i, f.Node, nodes)
 		}
 		switch f.Kind {
 		case KindNodeCrash, KindNodeRecover, KindNodeDrain, KindNodeUndrain,
-			KindMembwDark, KindMembwRestore, KindStragglerEnd:
+			KindMembwDark, KindMembwRestore, KindStragglerEnd, KindControllerKill:
 		case KindStragglerStart:
 			if f.Factor <= 0 || f.Factor >= 1 {
 				return fmt.Errorf("chaos: fixed fault %d straggler factor %g out of (0,1)", i, f.Factor)
@@ -313,6 +329,13 @@ func (p Plan) Compile(nodes int) ([]Fault, error) {
 		factor = DefaultStragglerFactor
 	}
 	window(p.StragglersPerDay, p.StragglerDuration, KindStragglerStart, KindStragglerEnd, factor)
+	// Controller kills draw after the window faults so adding a kill rate to
+	// an existing plan never perturbs the node-fault schedule (and a zero
+	// rate draws nothing, keeping existing plans byte-identical).
+	for i := 0; i < poisson(rng, p.ControllerKillsPerDay*days); i++ {
+		at := time.Duration(rng.Int63n(int64(p.Horizon)))
+		faults = append(faults, Fault{At: at, Kind: KindControllerKill})
+	}
 
 	// Stable sort: equal-time faults keep generation order, which is itself
 	// deterministic, so the schedule is fully reproducible.

@@ -1,0 +1,62 @@
+// Package atomicio writes files crash-atomically: the bytes land in a
+// temporary file in the destination directory, are fsynced, and only then
+// renamed over the target path. A crash at any point leaves either the old
+// file or the new file — never a torn half-write. The history log and every
+// checkpoint in this repo persist through this path.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is created
+// in path's directory so the final rename cannot cross filesystems. On any
+// error the temporary file is removed (best effort) and the target is left
+// untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	// Sync before rename: a rename that lands before the data would
+	// reintroduce exactly the torn-write window this package exists to close.
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicio: fsync %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("atomicio: rename over %s: %w", path, err)
+	}
+	// Durability of the rename itself needs a directory fsync. Failure here
+	// is not fatal to correctness (the file content is intact either way),
+	// so it is best-effort: some filesystems reject fsync on directories.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package checkpoint frames scheduler+simulator state for crash-consistent
+// persistence. The envelope is deliberately paranoid: a fixed magic, a
+// big-endian version, the payload length, and a SHA-256 checksum precede the
+// JSON payload, so a truncated, corrupted, or version-skewed file is rejected
+// with a specific error instead of resuming a run from poisoned state.
+//
+// Layout (all integers big-endian):
+//
+//	offset  size  field
+//	0       8     magic "CODACKPT"
+//	8       4     format version (currently 1)
+//	12      8     payload length in bytes
+//	20      32    SHA-256 of the payload
+//	52      n     JSON payload
+//
+// Files are written through internal/checkpoint/atomicio, so a crash during a
+// checkpoint leaves the previous checkpoint intact.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/coda-repro/coda/internal/checkpoint/atomicio"
+)
+
+// Version is the current checkpoint format version. Decoders reject files
+// stamped with a later version rather than guessing at their layout.
+const Version uint32 = 1
+
+// magic identifies a CODA checkpoint file.
+const magic = "CODACKPT"
+
+const headerSize = len(magic) + 4 + 8 + sha256.Size
+
+// Encode frames v as a checkpoint: header, checksum, JSON payload.
+func Encode(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode payload: %w", err)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic)
+	binary.BigEndian.PutUint32(buf[8:], Version)
+	binary.BigEndian.PutUint64(buf[12:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[20:], sum[:])
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// Decode validates the envelope around data and unmarshals the payload into v.
+// It fails loudly and specifically: bad magic, future version (reporting found
+// vs supported), truncation, and checksum mismatch each get their own error.
+func Decode(data []byte, v any) error {
+	if len(data) < headerSize {
+		return fmt.Errorf("checkpoint: truncated: %d bytes, need at least %d for the header", len(data), headerSize)
+	}
+	if !bytes.Equal(data[:8], []byte(magic)) {
+		return fmt.Errorf("checkpoint: bad magic %q (not a CODA checkpoint)", data[:8])
+	}
+	version := binary.BigEndian.Uint32(data[8:12])
+	if version > Version {
+		return fmt.Errorf("checkpoint: version %d is newer than supported version %d", version, Version)
+	}
+	length := binary.BigEndian.Uint64(data[12:20])
+	rest := data[headerSize:]
+	if uint64(len(rest)) < length {
+		return fmt.Errorf("checkpoint: truncated payload: header says %d bytes, file has %d", length, len(rest))
+	}
+	if uint64(len(rest)) > length {
+		return fmt.Errorf("checkpoint: %d trailing bytes after payload", uint64(len(rest))-length)
+	}
+	sum := sha256.Sum256(rest)
+	if !bytes.Equal(sum[:], data[20:20+sha256.Size]) {
+		return fmt.Errorf("checkpoint: checksum mismatch (file is corrupt)")
+	}
+	if err := json.Unmarshal(rest, v); err != nil {
+		return fmt.Errorf("checkpoint: decode payload: %w", err)
+	}
+	return nil
+}
+
+// WriteFile encodes v and writes it crash-atomically to path.
+func WriteFile(path string, v any) error {
+	data, err := Encode(v)
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, data, 0o644)
+}
+
+// ReadFile reads and decodes the checkpoint at path into v.
+func ReadFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return Decode(data, v)
+}
+
+// FileName returns the canonical checkpoint file name for a simulated time.
+// The zero-padded nanosecond count makes lexicographic order equal sim-time
+// order, so Latest needs no parsing and no wall clock.
+func FileName(at time.Duration) string {
+	return fmt.Sprintf("checkpoint-%020d.ckpt", int64(at))
+}
+
+// Latest returns the path of the newest checkpoint (by sim time encoded in
+// the file name) in dir. It returns os.ErrNotExist if the directory holds no
+// checkpoints.
+func Latest(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && len(name) == len(FileName(0)) &&
+			filepath.Ext(name) == ".ckpt" && name[:11] == "checkpoint-" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("checkpoint: no checkpoints in %s: %w", dir, os.ErrNotExist)
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}

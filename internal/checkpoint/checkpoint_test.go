@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	Name  string
+	Value float64
+	Items []int
+}
+
+func sample() payload {
+	return payload{Name: "ck", Value: 0.1 + 0.2, Items: []int{3, 1, 4, 1, 5}}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Decode(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Name != want.Name || got.Value != want.Value || len(got.Items) != len(want.Items) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	var got payload
+	err = Decode(data, &got)
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(data[8:], Version+7)
+	var got payload
+	err = Decode(data, &got)
+	if err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Fatalf("want future-version error, got %v", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 5, headerSize - 1, headerSize + 3, len(data) - 1} {
+		var got payload
+		err := Decode(data[:cut], &got)
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("cut=%d: want truncation error, got %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("extra")...)
+	var got payload
+	err = Decode(data, &got)
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
+	}
+}
+
+func TestDecodeRejectsFlippedPayloadByte(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+2] ^= 0x40
+	var got payload
+	err = Decode(data, &got)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName(time.Hour))
+	if err := WriteFile(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := ReadFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "ck" {
+		t.Fatalf("got %+v", got)
+	}
+	if err := ReadFile(filepath.Join(dir, "missing.ckpt"), &got); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Latest(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir: want ErrNotExist, got %v", err)
+	}
+	for _, at := range []time.Duration{3 * time.Hour, time.Hour, 2 * time.Hour} {
+		if err := WriteFile(filepath.Join(dir, FileName(at)), sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Decoys that must not be picked up.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != FileName(3*time.Hour) {
+		t.Fatalf("Latest = %s, want %s", filepath.Base(got), FileName(3*time.Hour))
+	}
+}

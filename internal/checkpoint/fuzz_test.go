@@ -1,0 +1,39 @@
+package checkpoint
+
+import (
+	"testing"
+)
+
+// FuzzDecode hammers the envelope decoder with arbitrary bytes. The decoder
+// must never panic, and anything it accepts must re-encode to an envelope the
+// decoder accepts again (round-trip stability).
+func FuzzDecode(f *testing.F) {
+	valid, err := Encode(map[string]any{"k": 1.5, "s": "x"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CODACKPT"))
+	f.Add([]byte("CODACKPT\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x02"))
+	truncated := append([]byte(nil), valid...)
+	f.Add(truncated[:len(truncated)-3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v any
+		if err := Decode(data, &v); err != nil {
+			return
+		}
+		re, err := Encode(v)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		var v2 any
+		if err := Decode(re, &v2); err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+// Checkpoint/restore support. Node capacities are construction parameters;
+// only node availability states and job placements are serialized. A job's
+// share is uniform across the nodes it spans (Allocate and Resize both apply
+// per-node counts uniformly), so one (cores, gpus) pair per job suffices.
+
+// PlacementState is one job's allocation.
+type PlacementState struct {
+	Job     job.ID
+	NodeIDs []int
+	// Cores and GPUs are the per-node share.
+	Cores int
+	GPUs  int
+}
+
+// State is the serializable cluster state.
+type State struct {
+	// NodeStates holds each node's availability, indexed by node ID.
+	NodeStates []NodeState
+	// Placements lists every allocation, sorted by job ID.
+	Placements []PlacementState
+}
+
+// CheckpointState captures node states and placements.
+func (c *Cluster) CheckpointState() State {
+	st := State{
+		NodeStates: make([]NodeState, len(c.nodes)),
+		Placements: make([]PlacementState, 0, len(c.placements)),
+	}
+	for i, n := range c.nodes {
+		st.NodeStates[i] = n.state
+	}
+	//coda:ordered-ok entries are sorted below before serialization
+	for id, nodeIDs := range c.placements {
+		share := c.nodes[nodeIDs[0]].jobs[id]
+		st.Placements = append(st.Placements, PlacementState{
+			Job:     id,
+			NodeIDs: append([]int(nil), nodeIDs...),
+			Cores:   share.cores,
+			GPUs:    share.gpus,
+		})
+	}
+	sort.Slice(st.Placements, func(i, j int) bool { return st.Placements[i].Job < st.Placements[j].Job })
+	return st
+}
+
+// RestoreCheckpointState replays st into a freshly built, empty cluster with
+// the same configuration. Placements are replayed through Allocate while
+// every node is still up — reusing all of its validation (capacity, ranges,
+// duplicates) — and the node states are applied afterwards, since Allocate
+// refuses nodes that are not up.
+func (c *Cluster) RestoreCheckpointState(st State) error {
+	if len(c.placements) != 0 {
+		return fmt.Errorf("cluster: restore into a non-empty cluster")
+	}
+	if len(st.NodeStates) != len(c.nodes) {
+		return fmt.Errorf("cluster: checkpoint has %d nodes, cluster has %d", len(st.NodeStates), len(c.nodes))
+	}
+	for _, n := range c.nodes {
+		if n.state != NodeUp {
+			return fmt.Errorf("cluster: restore into a cluster with node %d not up", n.ID)
+		}
+	}
+	for _, p := range st.Placements {
+		err := c.Allocate(p.Job, job.Allocation{NodeIDs: p.NodeIDs, CPUCores: p.Cores, GPUs: p.GPUs})
+		if err != nil {
+			return fmt.Errorf("cluster: replay placement: %w", err)
+		}
+	}
+	for i, ns := range st.NodeStates {
+		if err := c.SetNodeState(i, ns); err != nil {
+			return fmt.Errorf("cluster: restore node state: %w", err)
+		}
+	}
+	return c.CheckInvariants()
+}

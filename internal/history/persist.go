@@ -2,11 +2,14 @@ package history
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
+	"github.com/coda-repro/coda/internal/checkpoint/atomicio"
 	"github.com/coda-repro/coda/internal/job"
 )
 
@@ -91,6 +94,23 @@ func (l *Log) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// SaveFile writes the log crash-atomically to path: a crash mid-save leaves
+// the previous snapshot intact instead of a torn half-write.
+func (l *Log) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// validMaxPerGPU rejects the values a per-GPU core maximum can never take:
+// NaN, negative, and ±Inf (0 is legal — CPU-only tenants record no per-GPU
+// maximum).
+func validMaxPerGPU(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
 // Load restores a log saved with Save.
 func Load(r io.Reader) (*Log, error) {
 	var snap snapshot
@@ -109,7 +129,7 @@ func Load(r io.Reader) (*Log, error) {
 	l.sumGPUJobGPUs = snap.SumGPUJobGPUs
 	l.sumLargeGPUs = snap.SumLargeGPUs
 	for _, e := range snap.ByOwnerCategory {
-		if e.MaxCores <= 0 || e.Count <= 0 {
+		if e.MaxCores <= 0 || e.Count <= 0 || !validMaxPerGPU(e.MaxPerGPU) {
 			return nil, fmt.Errorf("history: corrupt owner-category entry %+v", e)
 		}
 		l.byOwnerCategory[key{
@@ -118,7 +138,7 @@ func Load(r io.Reader) (*Log, error) {
 		}] = aggregate{maxCores: e.MaxCores, maxPerGPU: e.MaxPerGPU, count: e.Count}
 	}
 	for _, e := range snap.ByOwner {
-		if e.MaxCores <= 0 || e.Count <= 0 {
+		if e.MaxCores <= 0 || e.Count <= 0 || !validMaxPerGPU(e.MaxPerGPU) {
 			return nil, fmt.Errorf("history: corrupt owner entry %+v", e)
 		}
 		l.byOwner[job.TenantID(e.Tenant)] = aggregate{maxCores: e.MaxCores, maxPerGPU: e.MaxPerGPU, count: e.Count}

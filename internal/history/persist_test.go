@@ -2,6 +2,8 @@ package history
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -65,6 +67,29 @@ func TestSaveLoadEmpty(t *testing.T) {
 	}
 }
 
+func TestSaveFileAtomic(t *testing.T) {
+	l := NewLog()
+	if err := l.Add(gpuRecord(1, 1, job.CategoryCV, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "history.json")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats() != l.Stats() {
+		t.Errorf("Stats after SaveFile/Load = %+v, want %+v", restored.Stats(), l.Stats())
+	}
+}
+
 func TestLoadRejectsCorruptInput(t *testing.T) {
 	tests := []struct {
 		name, input string
@@ -73,6 +98,10 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 		{"negative counter", `{"gpuJobCount":-1}`},
 		{"corrupt owner entry", `{"byOwner":[{"tenant":1,"maxCores":0,"count":1}]}`},
 		{"corrupt category entry", `{"byOwnerCategory":[{"tenant":1,"category":1,"maxCores":3,"count":0}]}`},
+		{"negative maxPerGPU owner", `{"byOwner":[{"tenant":1,"maxCores":4,"maxPerGPU":-2,"count":1}]}`},
+		{"negative maxPerGPU category", `{"byOwnerCategory":[{"tenant":1,"category":1,"maxCores":4,"maxPerGPU":-0.5,"count":1}]}`},
+		{"inf maxPerGPU", `{"byOwner":[{"tenant":1,"maxCores":4,"maxPerGPU":1e999,"count":1}]}`},
+		{"nan maxPerGPU", `{"byOwner":[{"tenant":1,"maxCores":4,"maxPerGPU":"NaN","count":1}]}`},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

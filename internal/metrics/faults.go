@@ -22,6 +22,10 @@ type FaultCounters struct {
 	// DegradedSamples counts node-samples taken while bandwidth telemetry
 	// was dark — the eliminator's degraded-mode exposure.
 	DegradedSamples int
+	// ControllerKills counts injected scheduler/controller deaths. The
+	// counter survives checkpoint/restore, so a resumed run that replays a
+	// kill it already survived can tell it apart from a fresh one.
+	ControllerKills int
 	// GoodputLost is attempt progress destroyed by kills: work a job had
 	// completed in an attempt that then had to restart from scratch.
 	GoodputLost time.Duration
@@ -41,5 +45,6 @@ func (c *FaultCounters) Add(o FaultCounters) {
 	c.Requeues += o.Requeues
 	c.TerminalFailures += o.TerminalFailures
 	c.DegradedSamples += o.DegradedSamples
+	c.ControllerKills += o.ControllerKills
 	c.GoodputLost += o.GoodputLost
 }

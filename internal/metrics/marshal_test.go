@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 5; i++ {
+		if err := s.Add(time.Duration(i)*time.Minute, float64(i)*0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		t1, v1 := s.At(i)
+		t2, v2 := got.At(i)
+		if t1 != t2 || v1 != v2 {
+			t.Fatalf("sample %d: (%v,%v) != (%v,%v)", i, t2, v2, t1, v1)
+		}
+	}
+}
+
+func TestSeriesJSONRejectsLengthMismatch(t *testing.T) {
+	var s Series
+	err := json.Unmarshal([]byte(`{"times":[1,2],"values":[0.5]}`), &s)
+	if err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestCDFJSONPreservesRawOrderAndFlag(t *testing.T) {
+	c := &CDF{}
+	// Out-of-order samples: the encoding must keep them raw.
+	for _, d := range []time.Duration{3 * time.Second, time.Second, 2 * time.Second} {
+		c.Add(d)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sorted":false`) {
+		t.Fatalf("sorted flag missing: %s", data)
+	}
+	var got CDF
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.samples[0] != 3*time.Second {
+		t.Fatalf("raw order not preserved: %v", got.samples)
+	}
+	// Marshaling must not have sorted the original.
+	if c.sorted || c.samples[0] != 3*time.Second {
+		t.Fatalf("marshal mutated the CDF: sorted=%v samples=%v", c.sorted, c.samples)
+	}
+	// A sorted CDF round-trips its flag too.
+	_ = c.Percentile(50)
+	data, err = json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 CDF
+	if err := json.Unmarshal(data, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if !got2.sorted {
+		t.Fatal("sorted flag lost")
+	}
+}
+
+func TestPerKeyCDFJSONRoundTrip(t *testing.T) {
+	p := NewPerKeyCDF()
+	p.Add(7, time.Second)
+	p.Add(2, 2*time.Second)
+	p.Add(7, 3*time.Second)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PerKeyCDF
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Keys()) != 2 || got.Get(7).Len() != 2 || got.Get(2).Len() != 1 {
+		t.Fatalf("round trip mismatch: keys=%v", got.Keys())
+	}
+	// Adding after restore must not panic (map must be initialized).
+	got.Add(9, time.Second)
+	if got.Get(9) == nil {
+		t.Fatal("post-restore Add failed")
+	}
+}
+
+func TestPerKeyCDFJSONRejectsBadPayloads(t *testing.T) {
+	cases := []string{
+		`[{"key":1,"cdf":null}]`,
+		`[{"key":1,"cdf":{"samples":[],"sorted":false}},{"key":1,"cdf":{"samples":[],"sorted":false}}]`,
+		`[{"key":2,"cdf":{"samples":[],"sorted":false}},{"key":1,"cdf":{"samples":[],"sorted":false}}]`,
+	}
+	for _, c := range cases {
+		var p PerKeyCDF
+		if err := json.Unmarshal([]byte(c), &p); err == nil {
+			t.Errorf("payload %s should be rejected", c)
+		}
+	}
+}

@@ -59,6 +59,17 @@ func (s *Simulator) handleFault(f chaos.Fault) {
 	case chaos.KindStragglerEnd:
 		s.dropSlowFactor(f.Node, f.Factor)
 		s.refreshNodes([]int{f.Node})
+	case chaos.KindControllerKill:
+		// Kills replay deterministically from a checkpoint, so count ordinals:
+		// only a kill beyond the ones this process already survived is fatal.
+		// The counter itself always advances — a baseline run with
+		// ExitOnControllerKill off tallies the same kills an interrupted-and-
+		// resumed run does, which is what makes the two Results comparable
+		// byte for byte.
+		s.results.Faults.ControllerKills++
+		if s.opts.ExitOnControllerKill && s.results.Faults.ControllerKills > s.killsSurvived {
+			s.killed = true
+		}
 	}
 }
 

@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/coda-repro/coda/internal/chaos"
+	"github.com/coda-repro/coda/internal/checkpoint"
+	"github.com/coda-repro/coda/internal/core"
+	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/sched"
+)
+
+// ckptWorkload builds a fresh job list per call (runs mutate job state, so
+// baseline and resumed runs must never share pointers). The mix covers GPU
+// training across model categories, CPU jobs and a bandwidth hog, spread
+// over ~6 hours so mid-run kill points land in dense scheduling activity.
+func ckptWorkload() []*job.Job {
+	models := []string{"resnet50", "transformer", "deepspeech", "vgg16"}
+	var jobs []*job.Job
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, gpuJob(job.ID(1000+i), time.Duration(i)*22*time.Minute,
+			models[i%len(models)], 3+i%4, 1+i%2, time.Duration(90+13*(i%5))*time.Minute))
+	}
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, cpuJob(job.ID(2000+i), time.Duration(i)*11*time.Minute,
+			3+i%5, time.Duration(60+9*(i%7))*time.Minute))
+	}
+	jobs = append(jobs, hogJob(3000, 80*time.Minute, 6, 70, 2*time.Hour))
+	return jobs
+}
+
+func codaScheduler(t *testing.T, opts Options) sched.Scheduler {
+	t.Helper()
+	s, err := core.New(core.DefaultConfig(), opts.Cluster.Nodes, opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// encodeCheckpoint is the sink contract in miniature: the *Checkpoint shares
+// memory with the live run, so serialize inside the sink call.
+func encodeCheckpoint(ck *Checkpoint) ([]byte, error) { return checkpoint.Encode(ck) }
+
+// TestResumeEquivalence is the headline metamorphic property: a run
+// checkpointed every K events and resumed from ANY of those checkpoints must
+// finish with a byte-identical Result dump. It covers the CODA scheduler
+// (history log, multi-array ledgers, allocator search, eliminator) under an
+// active chaos plan, so every serialized subsystem is exercised.
+func TestResumeEquivalence(t *testing.T) {
+	opts := testOptions()
+	opts.Seed = 11
+	opts.MaxVirtualTime = 2 * 24 * time.Hour
+	opts.Faults = chaos.Plan{
+		Seed:              5,
+		Horizon:           12 * time.Hour,
+		NodeCrashesPerDay: 3,
+		StragglersPerDay:  4,
+		JobFailureProb:    0.12,
+	}
+	opts.CheckpointEveryEvents = 400
+
+	var snaps [][]byte
+	opts.CheckpointSink = func(ck *Checkpoint) error {
+		data, err := encodeCheckpoint(ck)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, data)
+		return nil
+	}
+
+	s, err := New(opts, codaScheduler(t, opts), ckptWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dumpResult(res)
+	if len(snaps) < 3 {
+		t.Fatalf("only %d checkpoints taken; workload too small for the property", len(snaps))
+	}
+
+	// Resume from a spread of checkpoints: the first, the last, and a few in
+	// between. Each must reach the same final state bit for bit.
+	picks := []int{0, len(snaps) / 4, len(snaps) / 2, 3 * len(snaps) / 4, len(snaps) - 1}
+	seen := map[int]bool{}
+	for _, idx := range picks {
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		var ck Checkpoint
+		if err := checkpoint.Decode(snaps[idx], &ck); err != nil {
+			t.Fatalf("checkpoint %d: %v", idx, err)
+		}
+		resumed, err := Resume(&ck, codaScheduler(t, opts), nil)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d: %v", idx, err)
+		}
+		got, err := resumed.Run()
+		if err != nil {
+			t.Fatalf("resumed run %d: %v", idx, err)
+		}
+		if d := dumpResult(got); d != want {
+			t.Fatalf("resume from checkpoint %d/%d diverged at %s", idx, len(snaps), firstDiff(want, d))
+		}
+	}
+}
+
+// TestResumeEquivalenceFIFO covers the non-CODA Checkpointer path and the
+// time-based cadence.
+func TestResumeEquivalenceFIFO(t *testing.T) {
+	opts := testOptions()
+	opts.Seed = 3
+	opts.MaxVirtualTime = 2 * 24 * time.Hour
+	opts.CheckpointEvery = 45 * time.Minute
+
+	var snaps [][]byte
+	opts.CheckpointSink = func(ck *Checkpoint) error {
+		data, err := encodeCheckpoint(ck)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, data)
+		return nil
+	}
+	s, err := New(opts, sched.NewFIFO(), ckptWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dumpResult(res)
+	if len(snaps) == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	var ck Checkpoint
+	if err := checkpoint.Decode(snaps[len(snaps)/2], &ck); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(&ck, sched.NewFIFO(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dumpResult(got); d != want {
+		t.Fatalf("FIFO resume diverged at %s", firstDiff(want, d))
+	}
+}
+
+// runWithRecovery is the crash-recovery harness: it runs until completion,
+// restarting from the latest checkpoint (or from scratch, if the controller
+// died before the first checkpoint) every time fault injection kills the
+// scheduler. survived counts total deaths so each restarted instance shrugs
+// off exactly the kills its predecessors already died to — the kill events
+// replay deterministically from the checkpoint.
+func runWithRecovery(t *testing.T, opts Options, mkSched func() sched.Scheduler) (*Result, int) {
+	t.Helper()
+	var latest []byte
+	sink := func(ck *Checkpoint) error {
+		data, err := encodeCheckpoint(ck)
+		if err != nil {
+			return err
+		}
+		latest = data
+		return nil
+	}
+	opts.CheckpointSink = sink
+	survived := 0
+	for restarts := 0; ; restarts++ {
+		if restarts > 25 {
+			t.Fatal("crash-recovery harness did not converge")
+		}
+		var s *Simulator
+		var err error
+		if latest == nil {
+			if s, err = New(opts, mkSched(), ckptWorkload()); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var ck Checkpoint
+			if err := checkpoint.Decode(latest, &ck); err != nil {
+				t.Fatal(err)
+			}
+			if s, err = Resume(&ck, mkSched(), sink); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.SetSurvivedKills(survived)
+		res, err := s.Run()
+		if errors.Is(err, ErrControllerKilled) {
+			survived++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, survived
+	}
+}
+
+// TestKillAndResumeMatrix is the acceptance matrix: for 3 seeds x 2 fault
+// plans x 3 kill points, a run whose controller is killed and restarted from
+// the latest checkpoint must produce a Result byte-identical to the same run
+// left uninterrupted (the baseline counts the same kills without dying, so
+// the two observe identical fault streams).
+func TestKillAndResumeMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	// Kill points: before the first 30-minute checkpoint (fresh-restart
+	// path), mid-run, and deep into the run.
+	killPoints := []time.Duration{25 * time.Minute, 150 * time.Minute, 5 * time.Hour}
+	plans := []struct {
+		name string
+		plan chaos.Plan
+	}{
+		{"job-failures", chaos.Plan{Seed: 9, Horizon: 12 * time.Hour, JobFailureProb: 0.15}},
+		{"crashes-and-stragglers", chaos.Plan{
+			Seed: 17, Horizon: 12 * time.Hour,
+			NodeCrashesPerDay: 4, StragglersPerDay: 5, JobFailureProb: 0.05,
+		}},
+	}
+
+	for _, seed := range seeds {
+		for _, pl := range plans {
+			for _, kp := range killPoints {
+				plan := pl.plan
+				plan.Faults = append(append([]chaos.Fault(nil), pl.plan.Faults...),
+					chaos.Fault{At: kp, Kind: chaos.KindControllerKill})
+
+				opts := testOptions()
+				opts.Seed = seed
+				opts.MaxVirtualTime = 2 * 24 * time.Hour
+				opts.Faults = plan
+				opts.CheckpointEvery = 30 * time.Minute
+
+				// Baseline: same plan, kill only counted, never fatal.
+				base := opts
+				base.ExitOnControllerKill = false
+				want := dumpResult(mustRun(t, base, codaScheduler(t, base), ckptWorkload()))
+
+				hard := opts
+				hard.ExitOnControllerKill = true
+				got, deaths := runWithRecovery(t, hard, func() sched.Scheduler { return codaScheduler(t, hard) })
+				if deaths == 0 {
+					t.Errorf("seed %d plan %s kill@%v: controller never died; kill point outside the run",
+						seed, pl.name, kp)
+				}
+				if d := dumpResult(got); d != want {
+					t.Errorf("seed %d plan %s kill@%v: recovered run diverged at %s",
+						seed, pl.name, kp, firstDiff(want, d))
+				}
+			}
+		}
+	}
+}
+
+// TestResumeRejectsBadCheckpoints covers the directed failure modes: a
+// checkpoint resumed under the wrong policy, with an unknown event kind, or
+// with mis-sized state must fail loudly before the run starts.
+func TestResumeRejectsBadCheckpoints(t *testing.T) {
+	opts := testOptions()
+	opts.Seed = 4
+	opts.CheckpointEveryEvents = 200
+	var snap []byte
+	opts.CheckpointSink = func(ck *Checkpoint) error {
+		if snap == nil {
+			data, err := encodeCheckpoint(ck)
+			if err != nil {
+				return err
+			}
+			snap = data
+		}
+		return nil
+	}
+	s, err := New(opts, sched.NewFIFO(), ckptWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	decode := func(t *testing.T) *Checkpoint {
+		t.Helper()
+		var ck Checkpoint
+		if err := checkpoint.Decode(snap, &ck); err != nil {
+			t.Fatal(err)
+		}
+		return &ck
+	}
+
+	t.Run("wrong scheduler", func(t *testing.T) {
+		ck := decode(t)
+		if _, err := Resume(ck, codaScheduler(t, opts), nil); err == nil {
+			t.Error("resume under a different policy should fail")
+		}
+	})
+	t.Run("nil scheduler", func(t *testing.T) {
+		if _, err := Resume(decode(t), nil, nil); err == nil {
+			t.Error("nil scheduler should fail")
+		}
+	})
+	t.Run("unknown event kind", func(t *testing.T) {
+		ck := decode(t)
+		if len(ck.Events) == 0 {
+			t.Skip("checkpoint has no events")
+		}
+		ck.Events[0].Kind = 99
+		if _, err := Resume(ck, sched.NewFIFO(), nil); err == nil {
+			t.Error("unknown event kind should fail")
+		}
+	})
+	t.Run("mis-sized pcie state", func(t *testing.T) {
+		ck := decode(t)
+		ck.PcieLoad = ck.PcieLoad[:1]
+		if _, err := Resume(ck, sched.NewFIFO(), nil); err == nil {
+			t.Error("mis-sized pcie load should fail")
+		}
+	})
+	t.Run("missing results", func(t *testing.T) {
+		ck := decode(t)
+		ck.Results = nil
+		if _, err := Resume(ck, sched.NewFIFO(), nil); err == nil {
+			t.Error("missing results should fail")
+		}
+	})
+}
+
+// TestCheckpointCadenceValidation pins the Options.Validate additions.
+func TestCheckpointCadenceValidation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CheckpointEvery = -time.Second
+	if err := opts.Validate(); err == nil {
+		t.Error("negative checkpoint cadence should fail validation")
+	}
+	opts = DefaultOptions()
+	opts.CheckpointEveryEvents = -1
+	if err := opts.Validate(); err == nil {
+		t.Error("negative event cadence should fail validation")
+	}
+}

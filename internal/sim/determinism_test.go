@@ -43,9 +43,9 @@ func dumpResult(r *Result) string {
 	fmt.Fprintf(&b, "scheduler=%s lastArrival=%d endTime=%d throttles=%d preemptions=%d\n",
 		r.Scheduler, r.LastArrival, r.EndTime, r.Throttles, r.Preemptions)
 	f := r.Faults
-	fmt.Fprintf(&b, "faults: crashes=%d recoveries=%d dropouts=%d stragglers=%d kills=%d jobFailures=%d requeues=%d terminal=%d degraded=%d goodputLost=%d\n",
+	fmt.Fprintf(&b, "faults: crashes=%d recoveries=%d dropouts=%d stragglers=%d kills=%d jobFailures=%d requeues=%d terminal=%d degraded=%d goodputLost=%d controllerKills=%d\n",
 		f.NodeCrashes, f.NodeRecoveries, f.MembwDropouts, f.Stragglers, f.JobKills,
-		f.JobFailures, f.Requeues, f.TerminalFailures, f.DegradedSamples, f.GoodputLost)
+		f.JobFailures, f.Requeues, f.TerminalFailures, f.DegradedSamples, f.GoodputLost, f.ControllerKills)
 	dumpSeries(&b, "gpuActive", &r.GPUActive)
 	dumpSeries(&b, "gpuUtil", &r.GPUUtilSeries)
 	dumpSeries(&b, "cpuActive", &r.CPUActive)

@@ -59,12 +59,14 @@ func (s *Simulator) StartJob(id job.ID, alloc job.Allocation) error {
 		return err
 	}
 
+	s.attempts++
 	r := &runningJob{
 		job:        j,
 		alloc:      alloc.Clone(),
 		remaining:  j.Work,
 		lastUpdate: s.now,
 		startedAt:  s.now,
+		attempt:    s.attempts,
 	}
 	var bwDemand float64
 	if j.IsGPU() {
@@ -241,7 +243,7 @@ func (s *Simulator) GPUUtil(id job.ID) (float64, error) {
 		return 0, err
 	}
 	if s.opts.UtilNoise > 0 {
-		util *= 1 + s.opts.UtilNoise*(2*s.rng.Float64()-1)
+		util *= 1 + s.opts.UtilNoise*(2*s.noise()-1)
 	}
 	if util < 0 {
 		util = 0
@@ -250,4 +252,13 @@ func (s *Simulator) GPUUtil(id job.ID) (float64, error) {
 		util = 1
 	}
 	return util, nil
+}
+
+// noise is the only gate to the measurement-noise generator: it counts every
+// draw so Resume can re-seed the generator and discard exactly this many
+// values, landing the resumed run on the same stream position. Drawing from
+// s.rng directly would silently break bit-identical resume.
+func (s *Simulator) noise() float64 {
+	s.rngDraws++
+	return s.rng.Float64()
 }

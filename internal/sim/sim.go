@@ -51,6 +51,23 @@ type Options struct {
 	// violation. Tests enable it everywhere; cmd/coda-sim exposes it as
 	// the -invariants flag.
 	Invariants bool
+
+	// CheckpointEvery takes a crash-consistent checkpoint each time virtual
+	// time advances past another multiple of this cadence; 0 disables
+	// time-based checkpointing. CheckpointEveryEvents checkpoints every N
+	// processed events; 0 disables event-based checkpointing. Both feed
+	// CheckpointSink and are no-ops without one.
+	CheckpointEvery       time.Duration
+	CheckpointEveryEvents int
+	// CheckpointSink receives each checkpoint. The *Checkpoint shares memory
+	// with the live simulator: a sink must serialize (checkpoint.Encode or
+	// equivalent) before returning and must not retain the pointer.
+	CheckpointSink CheckpointSink `json:"-"`
+	// ExitOnControllerKill makes an injected chaos.KindControllerKill abort
+	// Run with ErrControllerKilled, simulating scheduler-process death. When
+	// false the kill is only counted — that is the baseline an interrupted-
+	// and-resumed run must reproduce bit-for-bit.
+	ExitOnControllerKill bool
 }
 
 // DefaultOptions returns the standard run configuration.
@@ -81,6 +98,12 @@ func (o Options) Validate() error {
 	}
 	if o.MaxVirtualTime < 0 {
 		return fmt.Errorf("sim options: negative max virtual time %v", o.MaxVirtualTime)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("sim options: negative checkpoint cadence %v", o.CheckpointEvery)
+	}
+	if o.CheckpointEveryEvents < 0 {
+		return fmt.Errorf("sim options: negative checkpoint event cadence %d", o.CheckpointEveryEvents)
 	}
 	if !o.Faults.Empty() {
 		if err := o.Faults.Validate(o.Cluster.TotalNodes()); err != nil {
@@ -183,6 +206,10 @@ type runningJob struct {
 	startedAt time.Duration
 	// bwDemand is the job's current per-node unthrottled bandwidth demand.
 	bwDemand float64
+	// attempt is a simulator-wide monotonic serial for this started attempt.
+	// Checkpoints use it to re-pin evJobFail events to the attempt they were
+	// armed against: a pointer cannot survive serialization, a serial can.
+	attempt int64
 }
 
 // cfg returns the job's training configuration.
@@ -207,6 +234,12 @@ type Simulator struct {
 	now    time.Duration
 	events eventHeap
 	seq    int64
+
+	// rngDraws counts measurement-noise draws so a resumed run can re-seed
+	// the generator and fast-forward to the same stream position.
+	rngDraws uint64
+	// attempts is the monotonic serial handed to each started attempt.
+	attempts int64
 
 	pending map[job.ID]*job.Job
 	running map[job.ID]*runningJob
@@ -242,6 +275,17 @@ type Simulator struct {
 	completedJobs int
 	terminalJobs  int
 
+	// Checkpoint/restore state. killsSurvived is how many controller kills
+	// this process has already lived through (kills recorded before the
+	// checkpoint it resumed from, or set by the harness for fresh restarts);
+	// only a kill beyond that count aborts the run. killed latches the abort;
+	// resumed suppresses the bootstrap events Run would otherwise re-push.
+	killsSurvived         int
+	killed                bool
+	resumed               bool
+	nextCheckpointAt      time.Duration
+	eventsSinceCheckpoint int
+
 	results *Result
 }
 
@@ -271,6 +315,9 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 		running:   make(map[job.ID]*runningJob),
 		pcieLoad:  make([]float64, opts.Cluster.TotalNodes()),
 		results:   newResult(scheduler.Name()),
+	}
+	if opts.CheckpointEvery > 0 {
+		s.nextCheckpointAt = opts.CheckpointEvery
 	}
 	for _, j := range jobs {
 		if err := j.Validate(); err != nil {
@@ -343,12 +390,19 @@ func (s *Simulator) stalled() bool {
 // maxEvents bounds runaway simulations (well above any legitimate run).
 const maxEvents = 200_000_000
 
-// Run executes the simulation to completion and returns the results.
+// Run executes the simulation to completion and returns the results. When
+// fault injection kills the controller (and ExitOnControllerKill is set) it
+// returns ErrControllerKilled without finalizing; the caller restarts from
+// the latest checkpoint via Resume.
 func (s *Simulator) Run() (*Result, error) {
-	if s.opts.TickInterval > 0 {
-		s.push(&event{at: s.opts.TickInterval, kind: evTick})
+	if !s.resumed {
+		// A resumed run carries its tick/sample events inside the restored
+		// heap; re-pushing them would double the cadence streams.
+		if s.opts.TickInterval > 0 {
+			s.push(&event{at: s.opts.TickInterval, kind: evTick})
+		}
+		s.push(&event{at: 0, kind: evSample})
 	}
-	s.push(&event{at: 0, kind: evSample})
 
 	for steps := 0; s.events.Len() > 0; steps++ {
 		if steps > maxEvents {
@@ -397,6 +451,15 @@ func (s *Simulator) Run() (*Result, error) {
 			if err := s.CheckInvariants(); err != nil {
 				return nil, fmt.Errorf("sim: invariant violated after %v event at t=%v: %w", e.kind, s.now, err)
 			}
+		}
+		if s.killed {
+			// Died mid-run: no finalize, no results. State up to the latest
+			// checkpoint survives; everything after it is lost, exactly like
+			// a real scheduler crash.
+			return nil, ErrControllerKilled
+		}
+		if err := s.maybeCheckpoint(); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint at t=%v: %w", s.now, err)
 		}
 		if s.idle() {
 			break
