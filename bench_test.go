@@ -7,9 +7,11 @@ package coda_test
 // internal/experiments, so benchmarks sharing it pay its cost once.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/coda-repro/coda/internal/experiments"
+	"github.com/coda-repro/coda/internal/runner"
 )
 
 // benchScale keeps the full suite tractable: one day at the paper's load
@@ -303,6 +305,39 @@ func BenchmarkAblationNstartSeeding(b *testing.B) {
 	}
 	b.ReportMetric(res.SeededSteps, "seeded_profiling_steps")
 	b.ReportMetric(res.FixedSteps, "cold_profiling_steps")
+}
+
+// BenchmarkComparisonMatrix measures the engine/runner split's payoff: the
+// same three-scheduler comparison matrix executed sequentially and on a
+// four-worker pool. It calls runner.Run directly (bypassing the experiments
+// memo cache) so every iteration pays the full simulation cost. The three
+// cells are independent runs, so on a multi-core machine the parallel
+// variant approaches a 3x speedup; on a single core the two variants tie.
+func BenchmarkComparisonMatrix(b *testing.B) {
+	sc := experiments.Scale{Seed: 2, Days: 0.2, CPUJobs: 500, GPUJobs: 166, Nodes: 80}
+	for _, bc := range []struct {
+		name     string
+		parallel int
+	}{
+		{"sequential", 1},
+		{"parallel-4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := experiments.ComparisonMatrix(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				results, err := runner.Run(context.Background(), m, runner.Options{Parallel: bc.parallel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 3 {
+					b.Fatalf("got %d results, want 3", len(results))
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkStaticPartitionBaseline(b *testing.B) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/coda-repro/coda/internal/experiments"
+	"github.com/coda-repro/coda/internal/sim"
 )
 
 func main() {
@@ -28,12 +29,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("coda-bench", flag.ContinueOnError)
 	scaleName := fs.String("scale", "small", "trace scale: tiny, small or full")
-	only := fs.String("only", "", "run one experiment: fig1,fig2,fig3,fig5,fig6,fig7,table1,fig10,fig11,fig12,fig13,fig14,sec6e,sec6g,static,table2,ablations")
+	only := fs.String("only", "", "run one experiment: fig1,fig2,fig3,fig5,fig6,fig7,table1,fig10,fig11,fig12,fig13,fig14,sec6e,sec6g,static,table2,ablations,multiseed")
 	seed := fs.Int64("seed", 1, "random seed")
 	csvDir := fs.String("csv", "", "also export plottable figure data as CSV files into this directory")
+	parallel := fs.Int("parallel", 0, "worker-pool width for experiment matrices (0 = GOMAXPROCS)")
+	runs := fs.Int("runs", 3, "seed count for the multiseed section")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be at least 1, got %d", *runs)
+	}
+	experiments.SetParallelism(*parallel)
+	defer experiments.SetParallelism(0)
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -74,6 +82,7 @@ func run(args []string) error {
 		{"static", func() error { return printStatic(sc) }},
 		{"table2", func() error { return printTable2(*seed) }},
 		{"ablations", func() error { return printAblations(sc, *seed) }},
+		{"multiseed", func() error { return printMultiSeed(sc, *seed, *runs) }},
 	}
 	for _, s := range sections {
 		if !want(s.name) {
@@ -354,6 +363,33 @@ func printStatic(sc experiments.Scale) error {
 	fmt.Printf("  static: gpu util %5.1f%%, cpu active %5.1f%%, gpu immediate %5.1f%%, cpu <=3min %5.1f%%\n",
 		res.GPUUtil*100, res.CPUActiveRate*100, res.GPUImmediate*100, res.CPUWithin3Min*100)
 	fmt.Printf("  context: coda util %5.1f%%, fifo util %5.1f%%\n", res.CODAUtil*100, res.FIFOUtil*100)
+	return nil
+}
+
+// printMultiSeed replays the three-scheduler comparison under runs
+// consecutive seeds on the worker pool and reports seed-averaged headline
+// rates with pooled queueing distributions — the variance check behind the
+// single-seed figures.
+func printMultiSeed(sc experiments.Scale, seed int64, runs int) error {
+	header(fmt.Sprintf("Multi-seed comparison — %d seeds, merged", runs))
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	msc, err := experiments.RunMultiSeedComparison(sc, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-6s %-10s %-12s %-15s %-12s %s\n",
+		"", "gpu util", "gpu active", "gpu immediate", "gpu >10min", "cpu <=3min")
+	for _, m := range []*sim.Merged{msc.FIFO, msc.DRF, msc.CODA} {
+		fmt.Printf("  %-6s %5.1f%%     %5.1f%%       %5.1f%%          %5.1f%%       %5.1f%%\n",
+			m.Scheduler, m.GPUUtil*100, m.GPUActiveRate*100,
+			m.GPUQueue.FractionAtMost(0)*100,
+			m.GPUQueue.FractionAbove(10*time.Minute)*100,
+			m.CPUQueue.FractionAtMost(3*time.Minute)*100)
+	}
+	fmt.Printf("  (each row merges %d runs; distributions pooled, rates seed-averaged)\n", msc.CODA.Runs)
 	return nil
 }
 

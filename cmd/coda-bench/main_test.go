@@ -26,12 +26,26 @@ func TestRunSimulatedSections(t *testing.T) {
 	}
 }
 
+func TestRunMultiSeedSection(t *testing.T) {
+	// The multiseed section sweeps seeds across the worker pool; -parallel 2
+	// exercises the parallel path, -parallel 1 the sequential one.
+	if err := run([]string{"-scale", "tiny", "-only", "multiseed", "-runs", "2", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "tiny", "-only", "multiseed", "-runs", "2", "-parallel", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-scale", "galactic"}); err == nil {
 		t.Error("unknown scale should fail")
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-runs", "0"}); err == nil {
+		t.Error("zero runs should fail")
 	}
 }
 

@@ -7,11 +7,13 @@
 //
 //	coda-sim -sched coda -days 3 -cpu-jobs 7500 -gpu-jobs 2500 -nodes 80
 //	coda-sim -sched fifo -trace trace.jsonl
+//	coda-sim -sched coda -runs 5 -parallel 4   # 5-seed sweep on 4 workers
 //	coda-sim -sched coda -checkpoint-every 1h -checkpoint-dir ckpts
 //	coda-sim -sched coda -checkpoint-every 1h -checkpoint-dir ckpts -resume ckpts
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ import (
 	"github.com/coda-repro/coda/internal/experiments"
 	"github.com/coda-repro/coda/internal/history"
 	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/runner"
 	"github.com/coda-repro/coda/internal/sched"
 	"github.com/coda-repro/coda/internal/sim"
 	"github.com/coda-repro/coda/internal/trace"
@@ -66,8 +69,30 @@ func run(args []string) error {
 	killRate := fs.Float64("controller-kills-per-day", 0, "expected scheduler-process kills per simulated day")
 	exitOnKill := fs.Bool("exit-on-controller-kill", false, "die on an injected controller kill instead of only counting it (restart with -resume)")
 	survivedKills := fs.Int("survived-kills", 0, "controller kills already survived by earlier processes of this run (advanced; -resume sets this automatically)")
+	runs := fs.Int("runs", 1, "replay the trace under this many consecutive seeds and print per-run plus merged metrics")
+	parallel := fs.Int("parallel", 0, "worker-pool width for -runs > 1 (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be at least 1, got %d", *runs)
+	}
+	if *runs > 1 {
+		// The multi-run path executes runs concurrently; everything tied to
+		// one resumable single process is a different workflow.
+		switch {
+		case *resumePath != "":
+			return fmt.Errorf("-runs > 1 conflicts with -resume (resume one run at a time from its run-<i> checkpoint directory)")
+		case *historyIn != "" || *historyOut != "":
+			return fmt.Errorf("-runs > 1 conflicts with -history-in/-history-out")
+		case *exitOnKill:
+			return fmt.Errorf("-runs > 1 conflicts with -exit-on-controller-kill")
+		case *survivedKills > 0:
+			return fmt.Errorf("-runs > 1 conflicts with -survived-kills")
+		case *series:
+			return fmt.Errorf("-series prints one run's time series; it requires -runs=1")
+		}
 	}
 
 	sc := experiments.Scale{Seed: *seed, Days: *days, CPUJobs: *cpuJobs, GPUJobs: *gpuJobs, Nodes: *nodes}
@@ -132,31 +157,29 @@ func run(args []string) error {
 		}
 		dir := *ckptDir
 		opts.CheckpointEvery = *ckptEvery
-		opts.CheckpointSink = func(ck *sim.Checkpoint) error {
-			return checkpoint.WriteFile(filepath.Join(dir, checkpoint.FileName(ck.Now)), ck)
+		if *runs == 1 {
+			opts.CheckpointSink = func(ck *sim.Checkpoint) error {
+				return checkpoint.WriteFile(filepath.Join(dir, checkpoint.FileName(ck.Now)), ck)
+			}
 		}
+		// With -runs > 1, runMany gives each run its own sink writing into a
+		// run-<i>/ subdirectory so the checkpoint streams never interleave.
 	}
 
-	var policy sched.Scheduler
-	var coda *core.Scheduler
-	switch *schedName {
-	case "fifo":
-		policy = sched.NewFIFO()
-	case "drf":
-		policy, err = sched.NewDRF(opts.Cluster.Nodes*opts.Cluster.CoresPerNode, opts.Cluster.Nodes*opts.Cluster.GPUsPerNode)
-	case "static":
-		policy = sched.NewStatic(opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
-	case "coda":
-		cfg := core.DefaultConfig()
-		cfg.DisableEliminator = *noEliminator
-		coda, err = core.New(cfg, opts.Cluster.Nodes, opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
-		policy = coda
-	default:
-		return fmt.Errorf("unknown scheduler %q (want fifo, drf, static or coda)", *schedName)
-	}
+	newPolicy, err := policyFactory(*schedName, opts, *noEliminator)
 	if err != nil {
 		return err
 	}
+
+	if *runs > 1 {
+		return runMany(*runs, *parallel, opts, jobs, newPolicy, *ckptDir)
+	}
+
+	policy, err := newPolicy()
+	if err != nil {
+		return err
+	}
+	coda, _ := policy.(*core.Scheduler)
 	if *historyIn != "" {
 		if coda == nil {
 			return fmt.Errorf("-history-in only applies to the coda scheduler")
@@ -218,6 +241,116 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// policyFactory returns a factory that builds a fresh scheduler per call.
+// Multi-run matrices need a factory rather than an instance: schedulers are
+// stateful, so concurrent runs must never share one.
+func policyFactory(name string, opts sim.Options, noEliminator bool) (func() (sched.Scheduler, error), error) {
+	cc := opts.Cluster
+	switch name {
+	case "fifo":
+		return func() (sched.Scheduler, error) { return sched.NewFIFO(), nil }, nil
+	case "drf":
+		return func() (sched.Scheduler, error) {
+			return sched.NewDRF(cc.Nodes*cc.CoresPerNode, cc.Nodes*cc.GPUsPerNode)
+		}, nil
+	case "static":
+		return func() (sched.Scheduler, error) {
+			return sched.NewStatic(cc.CoresPerNode, cc.GPUsPerNode), nil
+		}, nil
+	case "coda":
+		return func() (sched.Scheduler, error) {
+			cfg := core.DefaultConfig()
+			cfg.DisableEliminator = noEliminator
+			return core.New(cfg, cc.Nodes, cc.CoresPerNode, cc.GPUsPerNode)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (want fifo, drf, static or coda)", name)
+	}
+}
+
+// runMany replays the trace under runs consecutive seeds (noise and fault
+// streams both advance) on a bounded worker pool, then prints one line per
+// run and the merged aggregate. Results come back in matrix order, so the
+// output is deterministic regardless of -parallel.
+func runMany(runs, parallel int, opts sim.Options, jobs []*job.Job, newPolicy func() (sched.Scheduler, error), ckptDir string) error {
+	var m runner.Matrix
+	for i := 0; i < runs; i++ {
+		o := opts.Clone()
+		o.Seed = opts.Seed + int64(i)
+		o.Faults.Seed = opts.Faults.Seed + int64(i)
+		if o.CheckpointEvery > 0 {
+			sub := filepath.Join(ckptDir, fmt.Sprintf("run-%d", i))
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				return err
+			}
+			o.CheckpointSink = func(ck *sim.Checkpoint) error {
+				return checkpoint.WriteFile(filepath.Join(sub, checkpoint.FileName(ck.Now)), ck)
+			}
+		}
+		m.Add(sim.RunSpec{
+			Name:         fmt.Sprintf("run-%d", i),
+			Options:      o,
+			Jobs:         jobs,
+			NewScheduler: newPolicy,
+		})
+	}
+
+	start := time.Now()
+	results, err := runner.Run(context.Background(), &m, runner.Options{Parallel: parallel})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%-8s %-10s %-12s %-10s %-10s %-10s %s\n",
+		"run", "seed", "fault-seed", "gpu-util", "gpu-done", "cpu-done", "virtual")
+	for i, res := range results {
+		sm := res.Summarize()
+		fmt.Printf("%-8s %-10d %-12d %-10s %-10d %-10d %v\n",
+			m.Names()[i], opts.Seed+int64(i), opts.Faults.Seed+int64(i),
+			fmt.Sprintf("%.1f%%", sm.GPUUtil*100), sm.GPUJobsDone, sm.CPUJobsDone,
+			res.EndTime.Truncate(time.Second))
+	}
+
+	merged, err := sim.MergeResults(results)
+	if err != nil {
+		return err
+	}
+	printMerged(merged, len(jobs), elapsed)
+	return nil
+}
+
+func printMerged(m *sim.Merged, jobsPerRun int, elapsed time.Duration) {
+	fmt.Printf("\n=== merged across %d runs ===\n", m.Runs)
+	fmt.Printf("scheduler        %s\n", m.Scheduler)
+	fmt.Printf("jobs per run     %d (%d gpu done, %d cpu done across runs)\n", jobsPerRun, m.GPUJobsDone, m.CPUJobsDone)
+	fmt.Printf("virtual time     mean %v (wall %v)\n", m.MeanMakeSpan.Truncate(time.Second), elapsed.Truncate(time.Millisecond))
+	fmt.Printf("gpu active rate  %.1f%%\n", m.GPUActiveRate*100)
+	fmt.Printf("gpu utilization  %.1f%%\n", m.GPUUtil*100)
+	fmt.Printf("cpu active rate  %.1f%%\n", m.CPUActiveRate*100)
+	fmt.Printf("cpu utilization  %.1f%%\n", m.CPUUtil*100)
+	fmt.Printf("fragmentation    %.2f%%\n", m.FragRate*100)
+	fmt.Printf("preemptions      %d, throttles %d\n", m.Preemptions, m.Throttles)
+	if f := m.Faults; f.Any() {
+		fmt.Printf("faults           %d crashes, %d recoveries, %d membw dropouts, %d stragglers\n",
+			f.NodeCrashes, f.NodeRecoveries, f.MembwDropouts, f.Stragglers)
+		fmt.Printf("fault impact     %d kills (%d injected), %d requeues, %d terminal, %v goodput lost, %d degraded samples, %d controller kills\n",
+			f.JobKills, f.JobFailures, f.Requeues, f.TerminalFailures,
+			f.GoodputLost.Truncate(time.Second), f.DegradedSamples, f.ControllerKills)
+	}
+	fmt.Printf("gpu queue        p50 %v  p99 %v  >10min %.1f%%  >1h %.1f%%  =0 %.1f%% (pooled)\n",
+		m.GPUQueue.Percentile(50).Truncate(time.Second),
+		m.GPUQueue.Percentile(99).Truncate(time.Second),
+		m.GPUQueue.FractionAbove(10*time.Minute)*100,
+		m.GPUQueue.FractionAbove(time.Hour)*100,
+		m.GPUQueue.FractionAtMost(0)*100)
+	fmt.Printf("cpu queue        p50 %v  p99 %v  <=10s %.1f%%  <=3min %.1f%% (pooled)\n",
+		m.CPUQueue.Percentile(50).Truncate(time.Second),
+		m.CPUQueue.Percentile(99).Truncate(time.Second),
+		m.CPUQueue.FractionAtMost(10*time.Second)*100,
+		m.CPUQueue.FractionAtMost(3*time.Minute)*100)
 }
 
 func printSummary(res *sim.Result, totalJobs int, elapsed time.Duration) {

@@ -252,6 +252,121 @@ func TestCheckpointResumeCLI(t *testing.T) {
 	}
 }
 
+// multiRunArgs is a small chaotic multi-run invocation: the fault plan makes
+// each seed's schedule genuinely different, so identical output across
+// -parallel settings is not vacuous.
+func multiRunArgs(parallel int) []string {
+	return append(tinyArgs("coda"),
+		"-runs", "3",
+		"-parallel", strconv.Itoa(parallel),
+		"-fault-seed", "9",
+		"-job-fail-prob", "0.2",
+		"-crashes-per-day", "50",
+		"-invariants",
+	)
+}
+
+// TestMultiRunParallelMatchesSequential is the CLI face of the runner's
+// determinism guarantee: -parallel only changes wall-clock interleaving,
+// never a byte of the per-run or merged report.
+func TestMultiRunParallelMatchesSequential(t *testing.T) {
+	seq, err := captureStdout(t, func() error { return run(multiRunArgs(1)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := captureStdout(t, func() error { return run(multiRunArgs(4)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripVolatile(seq) != stripVolatile(par) {
+		t.Errorf("-parallel changed the report:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	// The seeds must actually diverge, or the comparison proves nothing.
+	lines := strings.Split(seq, "\n")
+	var runLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "run-") {
+			runLines = append(runLines, l)
+		}
+	}
+	if len(runLines) != 3 {
+		t.Fatalf("expected 3 per-run lines, got %d:\n%s", len(runLines), seq)
+	}
+	distinct := false
+	for _, l := range runLines[1:] {
+		if metricFields(l) != metricFields(runLines[0]) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("all seeds produced identical metrics; the multi-run sweep is not seed-sensitive")
+	}
+	if !strings.Contains(seq, "=== merged across 3 runs ===") {
+		t.Errorf("missing merged section:\n%s", seq)
+	}
+}
+
+// metricFields drops a per-run line's first three columns (run name, seed,
+// fault seed) so only the metrics are compared across runs.
+func metricFields(line string) string {
+	f := strings.Fields(line)
+	if len(f) <= 3 {
+		return ""
+	}
+	return strings.Join(f[3:], " ")
+}
+
+// TestMultiRunCheckpointSubdirs: with -runs > 1 every run checkpoints into
+// its own run-<i>/ subdirectory, and a single run can later resume from one.
+func TestMultiRunCheckpointSubdirs(t *testing.T) {
+	dir := t.TempDir()
+	args := append(tinyArgs("coda"), "-runs", "2", "-parallel", "2",
+		"-checkpoint-every", "10m", "-checkpoint-dir", dir)
+	if _, err := captureStdout(t, func() error { return run(args) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"run-0", "run-1"} {
+		entries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		ckpts := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".ckpt") {
+				ckpts++
+			}
+		}
+		if ckpts == 0 {
+			t.Errorf("%s holds no checkpoints", sub)
+		}
+	}
+	// run-0 used the base seeds, so a plain single run can resume from it.
+	resume := append(tinyArgs("coda"), "-resume", filepath.Join(dir, "run-0"))
+	if _, err := captureStdout(t, func() error { return run(resume) }); err != nil {
+		t.Errorf("resuming run-0 from its subdirectory: %v", err)
+	}
+}
+
+// TestMultiRunFlagValidation: the multi-run path rejects everything tied to
+// a single resumable process.
+func TestMultiRunFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-runs", "0"},
+		{"-runs", "-2"},
+		{"-runs", "2", "-resume", "somewhere"},
+		{"-runs", "2", "-history-in", "x"},
+		{"-runs", "2", "-history-out", "x"},
+		{"-runs", "2", "-exit-on-controller-kill"},
+		{"-runs", "2", "-survived-kills", "1"},
+		{"-runs", "2", "-series"},
+	}
+	for _, extra := range bad {
+		if err := run(append(tinyArgs("coda"), extra...)); err == nil {
+			t.Errorf("%v should fail", extra)
+		}
+	}
+}
+
 // TestResumeRejectsCorruptCheckpoints: damaged checkpoint files must fail
 // loudly before any simulation starts.
 func TestResumeRejectsCorruptCheckpoints(t *testing.T) {

@@ -160,6 +160,15 @@ type Plan struct {
 	RetryBackoff time.Duration
 }
 
+// Clone returns a deep copy of the plan. Plan is a value type except for
+// the fixed Faults slice: a shallow copy of a Plan still aliases that
+// backing array, so two runs built from one spec would see each other's
+// schedule edits. Clone severs that link.
+func (p Plan) Clone() Plan {
+	p.Faults = append([]Fault(nil), p.Faults...)
+	return p
+}
+
 // Empty reports whether the plan injects nothing at all.
 func (p Plan) Empty() bool {
 	return len(p.Faults) == 0 &&

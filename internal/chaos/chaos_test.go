@@ -35,6 +35,25 @@ func TestEmptyPlan(t *testing.T) {
 	}
 }
 
+func TestPlanCloneIsDeep(t *testing.T) {
+	p := Plan{
+		Seed:    7,
+		Horizon: time.Hour,
+		Faults:  []Fault{{Kind: KindNodeCrash, At: time.Minute, Node: 1}},
+	}
+	c := p.Clone()
+	if !reflect.DeepEqual(c, p) {
+		t.Fatalf("clone differs: %+v vs %+v", c, p)
+	}
+	c.Faults[0].Node = 99
+	if p.Faults[0].Node != 1 {
+		t.Error("mutating the clone's fault slice reached the original")
+	}
+	if got := (Plan{}).Clone(); got.Faults != nil && len(got.Faults) != 0 {
+		t.Errorf("cloning an empty plan grew faults: %+v", got)
+	}
+}
+
 func TestValidateRejectsBadPlans(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/coda-repro/coda/internal/core"
 	"github.com/coda-repro/coda/internal/job"
 	"github.com/coda-repro/coda/internal/perfmodel"
+	"github.com/coda-repro/coda/internal/runner"
 	"github.com/coda-repro/coda/internal/sim"
 )
 
@@ -74,35 +76,46 @@ type ThresholdPoint struct {
 	Interventions int
 }
 
+// EliminatorThresholdMatrix declares the threshold sweep: one cell per
+// threshold, all replaying the same hog-heavy trace.
+func EliminatorThresholdMatrix(sc Scale, thresholds []float64) (*runner.Matrix, error) {
+	jobs, err := hogHeavyTrace(sc)
+	if err != nil {
+		return nil, err
+	}
+	opts := sc.simOptions()
+	m := &runner.Matrix{}
+	for _, th := range thresholds {
+		cfg := core.DefaultConfig()
+		cfg.Eliminator.Threshold = th
+		cfg.Eliminator.Release = th * 0.8
+		m.Add(sim.RunSpec{
+			Name:         fmt.Sprintf("threshold=%g", th),
+			Options:      opts,
+			Jobs:         jobs,
+			NewScheduler: newCODA(cfg, opts.Cluster),
+		})
+	}
+	return m, nil
+}
+
 // AblationEliminatorThreshold sweeps the eliminator's bandwidth threshold
 // around the paper's 75% default (§V-D), with an elevated hog fraction so
 // the eliminator matters. Lower thresholds throttle CPU jobs more
 // aggressively; higher ones let contention through.
 func AblationEliminatorThreshold(sc Scale, thresholds []float64) ([]ThresholdPoint, error) {
-	jobs, err := hogHeavyTrace(sc)
+	m, err := EliminatorThresholdMatrix(sc, thresholds)
 	if err != nil {
 		return nil, err
 	}
-	var pts []ThresholdPoint
-	for _, th := range thresholds {
-		cfg := core.DefaultConfig()
-		cfg.Eliminator.Threshold = th
-		cfg.Eliminator.Release = th * 0.8
-		opts := sc.simOptions()
-		coda, err := core.NewForCluster(cfg, opts.Cluster)
-		if err != nil {
-			return nil, err
-		}
-		simulator, err := sim.New(opts, coda, cloneJobs(jobs))
-		if err != nil {
-			return nil, err
-		}
-		res, err := simulator.Run()
-		if err != nil {
-			return nil, err
-		}
+	results, err := runMatrix(m)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]ThresholdPoint, 0, len(results))
+	for i, res := range results {
 		pts = append(pts, ThresholdPoint{
-			Threshold:     th,
+			Threshold:     thresholds[i],
 			GPUUtil:       sim.WindowMean(&res.GPUUtilSeries, res.LastArrival),
 			Interventions: res.Throttles,
 		})

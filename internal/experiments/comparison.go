@@ -1,13 +1,54 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
+	"github.com/coda-repro/coda/internal/cluster"
 	"github.com/coda-repro/coda/internal/core"
+	"github.com/coda-repro/coda/internal/runner"
 	"github.com/coda-repro/coda/internal/sched"
 	"github.com/coda-repro/coda/internal/sim"
 )
+
+// parallelism is the worker-pool width experiments hand to the runner when
+// they execute a matrix; 0 means GOMAXPROCS. It is a plain variable read
+// on the caller's goroutine (this package holds no locks): set it once at
+// startup, before running experiments.
+var parallelism int
+
+// SetParallelism sets the worker-pool width for every experiment matrix;
+// n <= 0 restores the GOMAXPROCS default. Call before experiments run.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism = n
+}
+
+// Parallelism returns the configured worker-pool width (0 = GOMAXPROCS).
+func Parallelism() int { return parallelism }
+
+// runMatrix executes a matrix with the package-wide parallelism.
+func runMatrix(m *runner.Matrix) ([]*sim.Result, error) {
+	return runner.Run(context.Background(), m, runner.Options{Parallel: parallelism})
+}
+
+// newFIFO, newDRF and newCODA are the scheduler recipes every comparison
+// cell is built from. Each returns a factory suitable for sim.RunSpec.
+func newFIFO() func() (sched.Scheduler, error) {
+	return func() (sched.Scheduler, error) { return sched.NewFIFO(), nil }
+}
+
+func newDRF(cc cluster.Config) func() (sched.Scheduler, error) {
+	return func() (sched.Scheduler, error) {
+		return sched.NewDRF(cc.TotalNodes()*cc.CoresPerNode, cc.Nodes*cc.GPUsPerNode)
+	}
+}
+
+func newCODA(cfg core.Config, cc cluster.Config) func() (sched.Scheduler, error) {
+	return func() (sched.Scheduler, error) { return core.NewForCluster(cfg, cc) }
+}
 
 // Comparison holds one trace replayed under all three schedulers.
 type Comparison struct {
@@ -17,101 +58,111 @@ type Comparison struct {
 	FIFO, DRF, CODA *sim.Result
 }
 
-// comparison runs are memoized per scale: Figs. 10-14 and §VI-C all read
-// the same three runs.
-var (
-	compMu    sync.Mutex
-	compCache = make(map[Scale]*Comparison)
-)
-
-// RunComparison replays the scale's trace under FIFO, DRF and CODA.
-// Results are cached per scale for the life of the process.
-func RunComparison(sc Scale) (*Comparison, error) {
-	compMu.Lock()
-	defer compMu.Unlock()
-	if c, ok := compCache[sc]; ok {
-		return c, nil
-	}
-	c, err := runComparison(sc)
-	if err != nil {
-		return nil, err
-	}
-	compCache[sc] = c
-	return c, nil
-}
-
-func runComparison(sc Scale) (*Comparison, error) {
+// ComparisonMatrix declares the headline three-scheduler replay for one
+// scale: the same trace and simulation options under FIFO, DRF and CODA,
+// in that cell order. Each cell deep-copies the trace on Add, so the runs
+// share nothing.
+func ComparisonMatrix(sc Scale) (*runner.Matrix, error) {
 	jobs, err := sc.generate()
 	if err != nil {
 		return nil, err
 	}
 	opts := sc.simOptions()
+	m := &runner.Matrix{}
+	m.Add(sim.RunSpec{Name: "fifo", Options: opts, Jobs: jobs, NewScheduler: newFIFO()})
+	m.Add(sim.RunSpec{Name: "drf", Options: opts, Jobs: jobs, NewScheduler: newDRF(opts.Cluster)})
+	m.Add(sim.RunSpec{Name: "coda", Options: opts, Jobs: jobs, NewScheduler: newCODA(core.DefaultConfig(), opts.Cluster)})
+	return m, nil
+}
 
-	newCODA := func() (sched.Scheduler, error) {
-		return core.New(core.DefaultConfig(), opts.Cluster.Nodes, opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
-	}
-	newDRF := func() (sched.Scheduler, error) {
-		return sched.NewDRF(opts.Cluster.Nodes*opts.Cluster.CoresPerNode, opts.Cluster.Nodes*opts.Cluster.GPUsPerNode)
-	}
-	newFIFO := func() (sched.Scheduler, error) { return sched.NewFIFO(), nil }
+// comparison runs are memoized per scale: Figs. 10-14 and §VI-C all read
+// the same three runs. The cache lives in a runner.Memo so this package
+// stays free of sync primitives.
+var comparisons runner.Memo[Scale, *Comparison]
 
-	// The three replays are independent (each gets its own cluster,
-	// simulator and job clones), so they run concurrently. Results stay
-	// deterministic: concurrency only overlaps wall-clock time.
-	type outcome struct {
-		res *sim.Result
-		err error
-	}
-	run := func(build func() (sched.Scheduler, error), name string, out *outcome, done func()) {
-		defer done()
-		s, err := build()
+// RunComparison replays the scale's trace under FIFO, DRF and CODA.
+// Results are cached per scale for the life of the process.
+func RunComparison(sc Scale) (*Comparison, error) {
+	return comparisons.Do(sc, func() (*Comparison, error) {
+		m, err := ComparisonMatrix(sc)
 		if err != nil {
-			out.err = fmt.Errorf("%s run: %w", name, err)
-			return
+			return nil, err
 		}
-		simulator, err := sim.New(opts, s, cloneJobs(jobs))
+		results, err := runMatrix(m)
 		if err != nil {
-			out.err = fmt.Errorf("%s run: %w", name, err)
-			return
+			return nil, err
 		}
-		out.res, out.err = simulator.Run()
-		if out.err != nil {
-			out.err = fmt.Errorf("%s run: %w", name, out.err)
-		}
-	}
+		return &Comparison{Scale: sc, FIFO: results[0], DRF: results[1], CODA: results[2]}, nil
+	})
+}
 
-	var fifo, drf, coda outcome
-	var wg sync.WaitGroup
-	wg.Add(3)
-	go run(newFIFO, "fifo", &fifo, wg.Done)
-	go run(newDRF, "drf", &drf, wg.Done)
-	go run(newCODA, "coda", &coda, wg.Done)
-	wg.Wait()
+// MultiSeedComparison is the seed-sweep variant of the comparison: the
+// same trace replayed under every scheduler at several simulation-noise
+// seeds, aggregated per scheduler.
+type MultiSeedComparison struct {
+	// Scale is the operating point; Seeds are the simulation seeds run.
+	Scale Scale
+	Seeds []int64
+	// FIFO, DRF and CODA aggregate each scheduler's runs across seeds.
+	FIFO, DRF, CODA *sim.Merged
+}
 
-	for _, out := range []*outcome{&fifo, &drf, &coda} {
-		if out.err != nil {
-			return nil, out.err
-		}
+// MultiSeedComparisonMatrix declares the seed sweep: for each scheduler
+// (FIFO, DRF, CODA — cell-major), one cell per seed. With R seeds, cells
+// [0,R) are FIFO, [R,2R) DRF, [2R,3R) CODA.
+func MultiSeedComparisonMatrix(sc Scale, seeds []int64) (*runner.Matrix, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: multi-seed comparison needs at least one seed")
 	}
-	return &Comparison{Scale: sc, FIFO: fifo.res, DRF: drf.res, CODA: coda.res}, nil
+	jobs, err := sc.generate()
+	if err != nil {
+		return nil, err
+	}
+	opts := sc.simOptions()
+	m := &runner.Matrix{}
+	m.AddSeeds(sim.RunSpec{Name: "fifo", Options: opts, Jobs: jobs, NewScheduler: newFIFO()}, seeds...)
+	m.AddSeeds(sim.RunSpec{Name: "drf", Options: opts, Jobs: jobs, NewScheduler: newDRF(opts.Cluster)}, seeds...)
+	m.AddSeeds(sim.RunSpec{Name: "coda", Options: opts, Jobs: jobs, NewScheduler: newCODA(core.DefaultConfig(), opts.Cluster)}, seeds...)
+	return m, nil
+}
+
+// RunMultiSeedComparison executes the seed sweep and merges each
+// scheduler's runs. Not cached.
+func RunMultiSeedComparison(sc Scale, seeds []int64) (*MultiSeedComparison, error) {
+	m, err := MultiSeedComparisonMatrix(sc, seeds)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runMatrix(m)
+	if err != nil {
+		return nil, err
+	}
+	r := len(seeds)
+	fifo, err := sim.MergeResults(results[0:r])
+	if err != nil {
+		return nil, err
+	}
+	drf, err := sim.MergeResults(results[r : 2*r])
+	if err != nil {
+		return nil, err
+	}
+	coda, err := sim.MergeResults(results[2*r : 3*r])
+	if err != nil {
+		return nil, err
+	}
+	return &MultiSeedComparison{Scale: sc, Seeds: seeds, FIFO: fifo, DRF: drf, CODA: coda}, nil
 }
 
 // RunCODAVariant replays the scale's trace under a custom CODA
 // configuration (used by the §VI-E ablation and the design-choice
-// ablations). Not cached.
+// ablations). Not cached. The run executes on the calling goroutine — a
+// single cell needs no pool.
 func RunCODAVariant(sc Scale, cfg core.Config) (*sim.Result, error) {
 	jobs, err := sc.generate()
 	if err != nil {
 		return nil, err
 	}
 	opts := sc.simOptions()
-	s, err := core.New(cfg, opts.Cluster.Nodes, opts.Cluster.CoresPerNode, opts.Cluster.GPUsPerNode)
-	if err != nil {
-		return nil, err
-	}
-	simulator, err := sim.New(opts, s, jobs)
-	if err != nil {
-		return nil, err
-	}
-	return simulator.Run()
+	spec := sim.RunSpec{Name: "coda-variant", Options: opts, Jobs: jobs, NewScheduler: newCODA(cfg, opts.Cluster)}
+	return spec.Run()
 }

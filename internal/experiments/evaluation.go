@@ -8,6 +8,7 @@ import (
 	"github.com/coda-repro/coda/internal/job"
 	"github.com/coda-repro/coda/internal/metrics"
 	"github.com/coda-repro/coda/internal/perfmodel"
+	"github.com/coda-repro/coda/internal/runner"
 	"github.com/coda-repro/coda/internal/sim"
 	"github.com/coda-repro/coda/internal/trace"
 )
@@ -268,6 +269,29 @@ type Sec6EResult struct {
 	PaperUtilDrop, PaperQueueFactor float64
 }
 
+// Sec6EMatrix declares the eliminator ablation's three extra runs (the
+// eliminator-on baseline comes from the cached comparison): eliminator off
+// on the scale's trace, then eliminator on and off on the 5% hog-density
+// stress trace, in that cell order.
+func Sec6EMatrix(sc Scale) (*runner.Matrix, error) {
+	offCfg := core.DefaultConfig()
+	offCfg.DisableEliminator = true
+	jobs, err := sc.generate()
+	if err != nil {
+		return nil, err
+	}
+	stressJobs, err := hogHeavyTrace(sc)
+	if err != nil {
+		return nil, err
+	}
+	opts := sc.simOptions()
+	m := &runner.Matrix{}
+	m.Add(sim.RunSpec{Name: "eliminator-off", Options: opts, Jobs: jobs, NewScheduler: newCODA(offCfg, opts.Cluster)})
+	m.Add(sim.RunSpec{Name: "stress-on", Options: opts, Jobs: stressJobs, NewScheduler: newCODA(core.DefaultConfig(), opts.Cluster)})
+	m.Add(sim.RunSpec{Name: "stress-off", Options: opts, Jobs: stressJobs, NewScheduler: newCODA(offCfg, opts.Cluster)})
+	return m, nil
+}
+
 // Sec6E reproduces §VI-E: disabling the contention eliminator costs GPU
 // utilization and inflates the queue, at the paper's 0.5% hog density and
 // at a 5% stress density.
@@ -276,40 +300,17 @@ func Sec6E(sc Scale) (Sec6EResult, error) {
 	if err != nil {
 		return Sec6EResult{}, err
 	}
-	offCfg := core.DefaultConfig()
-	offCfg.DisableEliminator = true
-	off, err := RunCODAVariant(sc, offCfg)
-	if err != nil {
-		return Sec6EResult{}, err
-	}
 	on := c.CODA
 
-	// Stress variant: 5% bandwidth hogs make the effect measurable at any
-	// scale.
-	stressJobs, err := hogHeavyTrace(sc)
+	m, err := Sec6EMatrix(sc)
 	if err != nil {
 		return Sec6EResult{}, err
 	}
-	runStress := func(cfg core.Config) (*sim.Result, error) {
-		opts := sc.simOptions()
-		coda, err := core.NewForCluster(cfg, opts.Cluster)
-		if err != nil {
-			return nil, err
-		}
-		simulator, err := sim.New(opts, coda, cloneJobs(stressJobs))
-		if err != nil {
-			return nil, err
-		}
-		return simulator.Run()
-	}
-	stressOn, err := runStress(core.DefaultConfig())
+	results, err := runMatrix(m)
 	if err != nil {
 		return Sec6EResult{}, err
 	}
-	stressOff, err := runStress(offCfg)
-	if err != nil {
-		return Sec6EResult{}, err
-	}
+	off, stressOn, stressOff := results[0], results[1], results[2]
 
 	return Sec6EResult{
 		UtilWithEliminator: peakMean(&on.GPUUtilSeries, on.LastArrival),

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"github.com/coda-repro/coda/internal/core"
-	"github.com/coda-repro/coda/internal/sched"
+	"github.com/coda-repro/coda/internal/runner"
 	"github.com/coda-repro/coda/internal/sim"
 )
 
@@ -19,12 +19,10 @@ type GeneralityRow struct {
 	GPUUtil, GPUImmediate, CPUWithin3Min float64
 }
 
-// Generality reproduces §VI-G: on a cluster of GPU nodes plus dedicated
-// CPU-only nodes, CODA's multi-array scheduling keeps GPU and CPU jobs
-// from disturbing each other while the baselines keep their §VI-B
-// weaknesses. The cluster keeps the paper's 400 GPUs (the GPU-node count
-// is unchanged) and adds cpuOnlyNodes pure-CPU nodes.
-func Generality(sc Scale, cpuOnlyNodes int) ([]GeneralityRow, error) {
+// GeneralityMatrix declares §VI-G's replay: the scale's trace on a
+// cluster extended by cpuOnlyNodes pure-CPU nodes, under FIFO, DRF and
+// CODA in that cell order.
+func GeneralityMatrix(sc Scale, cpuOnlyNodes int) (*runner.Matrix, error) {
 	if cpuOnlyNodes < 0 {
 		return nil, fmt.Errorf("experiments: negative cpu-only nodes %d", cpuOnlyNodes)
 	}
@@ -34,37 +32,31 @@ func Generality(sc Scale, cpuOnlyNodes int) ([]GeneralityRow, error) {
 	}
 	opts := sc.simOptions()
 	opts.Cluster.CPUOnlyNodes = cpuOnlyNodes
-	cc := opts.Cluster
+	m := &runner.Matrix{}
+	m.Add(sim.RunSpec{Name: "fifo", Options: opts, Jobs: jobs, NewScheduler: newFIFO()})
+	m.Add(sim.RunSpec{Name: "drf", Options: opts, Jobs: jobs, NewScheduler: newDRF(opts.Cluster)})
+	m.Add(sim.RunSpec{Name: "coda", Options: opts, Jobs: jobs, NewScheduler: newCODA(core.DefaultConfig(), opts.Cluster)})
+	return m, nil
+}
 
-	builders := []struct {
-		name  string
-		build func() (sched.Scheduler, error)
-	}{
-		{"fifo", func() (sched.Scheduler, error) { return sched.NewFIFO(), nil }},
-		{"drf", func() (sched.Scheduler, error) {
-			return sched.NewDRF(cc.TotalNodes()*cc.CoresPerNode, cc.Nodes*cc.GPUsPerNode)
-		}},
-		{"coda", func() (sched.Scheduler, error) {
-			return core.NewForCluster(core.DefaultConfig(), cc)
-		}},
+// Generality reproduces §VI-G: on a cluster of GPU nodes plus dedicated
+// CPU-only nodes, CODA's multi-array scheduling keeps GPU and CPU jobs
+// from disturbing each other while the baselines keep their §VI-B
+// weaknesses. The cluster keeps the paper's 400 GPUs (the GPU-node count
+// is unchanged) and adds cpuOnlyNodes pure-CPU nodes.
+func Generality(sc Scale, cpuOnlyNodes int) ([]GeneralityRow, error) {
+	m, err := GeneralityMatrix(sc, cpuOnlyNodes)
+	if err != nil {
+		return nil, err
 	}
-
-	var rows []GeneralityRow
-	for _, b := range builders {
-		s, err := b.build()
-		if err != nil {
-			return nil, err
-		}
-		simulator, err := sim.New(opts, s, cloneJobs(jobs))
-		if err != nil {
-			return nil, err
-		}
-		res, err := simulator.Run()
-		if err != nil {
-			return nil, err
-		}
+	results, err := runMatrix(m)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]GeneralityRow, 0, len(results))
+	for _, res := range results {
 		rows = append(rows, GeneralityRow{
-			Scheduler:     b.name,
+			Scheduler:     res.Scheduler,
 			GPUUtil:       sim.WindowMean(&res.GPUUtilSeries, res.LastArrival),
 			GPUImmediate:  res.GPUQueue.FractionAtMost(0),
 			CPUWithin3Min: res.CPUQueue.FractionAtMost(3 * time.Minute),

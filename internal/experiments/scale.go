@@ -108,13 +108,3 @@ func (s Scale) generate() ([]*job.Job, error) {
 func traceGenerate(cfg trace.Config) ([]*job.Job, error) {
 	return trace.Generate(cfg)
 }
-
-// cloneJobs deep-copies a trace so concurrent scheduler runs never share
-// job structs.
-func cloneJobs(jobs []*job.Job) []*job.Job {
-	out := make([]*job.Job, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.Clone()
-	}
-	return out
-}

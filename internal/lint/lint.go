@@ -68,9 +68,12 @@ func DefaultConfig() Config {
 		// Everything simulator-driven runs on virtual time and seeded rngs.
 		WallClockFree: []string{"internal/"},
 		// Goroutines and locks are confined to the history log (guarded by
-		// a vetted RWMutex) and the experiment harness's replay fan-out.
+		// a vetted RWMutex) and the runner's worker pool — the one place
+		// the repository is allowed to overlap independent simulation runs.
+		// internal/experiments is deliberately NOT here: its old replay
+		// fan-out moved into internal/runner, and it must stay sync-free.
 		Deterministic:  []string{"internal/"},
-		GoroutineAllow: []string{"internal/history", "internal/experiments"},
+		GoroutineAllow: []string{"internal/history", "internal/runner"},
 		FloatEqScope:   []string{"internal/", "cmd/"},
 		ErrCheckScope:  []string{"internal/", "cmd/"},
 	}

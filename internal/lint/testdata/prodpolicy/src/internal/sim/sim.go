@@ -1,0 +1,11 @@
+// Package sim is a production-policy fixture: the engine package must stay
+// single-threaded, so a goroutine here has to fail no-stray-goroutines
+// under the repository's DefaultConfig even though internal/runner is
+// allowlisted.
+package sim
+
+func fanOut(ch chan int) {
+	go func() { ch <- 1 }() // want "no-stray-goroutines"
+}
+
+var _ = fanOut

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCDFMerge(t *testing.T) {
+	var a, b CDF
+	a.Add(time.Second)
+	a.Add(3 * time.Second)
+	b.Add(2 * time.Second)
+	a.Merge(&b)
+	if a.Len() != 3 {
+		t.Fatalf("merged len = %d, want 3", a.Len())
+	}
+	if got := a.Percentile(50); got != 2*time.Second {
+		t.Errorf("median after merge = %v, want 2s", got)
+	}
+	// Merging nil and empty is a no-op; the source is unchanged.
+	a.Merge(nil)
+	a.Merge(&CDF{})
+	if a.Len() != 3 || b.Len() != 1 {
+		t.Errorf("no-op merges changed lengths: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestPerKeyCDFMerge(t *testing.T) {
+	p, q := NewPerKeyCDF(), NewPerKeyCDF()
+	p.Add(1, time.Second)
+	q.Add(1, 3*time.Second)
+	q.Add(2, time.Minute)
+	p.Merge(q)
+	if keys := p.Keys(); len(keys) != 2 || keys[0] != 1 || keys[1] != 2 {
+		t.Fatalf("merged keys = %v, want [1 2]", keys)
+	}
+	if got := p.Get(1).Len(); got != 2 {
+		t.Errorf("key 1 has %d samples, want 2", got)
+	}
+	if got := p.Percentile(2, 99); got != time.Minute {
+		t.Errorf("key 2 p99 = %v, want 1m", got)
+	}
+	p.Merge(nil) // no-op
+}
+
+func TestMeanSeries(t *testing.T) {
+	var a, b Series
+	for i, v := range []float64{1, 2, 3} {
+		if err := a.Add(time.Duration(i)*time.Minute, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(time.Duration(i)*time.Minute, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean, err := MeanSeries([]*Series{&a, &b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2.5, 3.5}
+	for i := 0; i < mean.Len(); i++ {
+		tm, v := mean.At(i)
+		if tm != time.Duration(i)*time.Minute || v != want[i] {
+			t.Errorf("sample %d = (%v, %g), want (%v, %g)", i, tm, v, time.Duration(i)*time.Minute, want[i])
+		}
+	}
+}
+
+func TestMeanSeriesErrors(t *testing.T) {
+	if _, err := MeanSeries(nil); err == nil {
+		t.Error("mean of no series should fail")
+	}
+	var a, b Series
+	_ = a.Add(0, 1)
+	if _, err := MeanSeries([]*Series{&a, &b}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	var c Series
+	_ = c.Add(time.Second, 1)
+	if _, err := MeanSeries([]*Series{&a, &c}); err == nil {
+		t.Error("timestamp mismatch should fail")
+	}
+}

@@ -1,0 +1,37 @@
+package runner
+
+import "sync"
+
+// Memo is a mutex-guarded build-once cache. It exists so deterministic
+// packages (internal/experiments memoizes its comparison runs) can keep
+// process-wide caches that are safe to hit from concurrent tests without
+// themselves importing sync — synchronization, like goroutines, stays
+// confined to this package.
+//
+// The zero value is ready to use. Do holds the lock across build, so
+// concurrent callers of the same key block until the first build finishes
+// and then share its value; a failed build caches nothing.
+type Memo[K comparable, V any] struct {
+	mu   sync.Mutex
+	vals map[K]V
+}
+
+// Do returns the cached value for key, building and caching it on first
+// use.
+func (m *Memo[K, V]) Do(key K, build func() (V, error)) (V, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.vals[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	if m.vals == nil {
+		m.vals = make(map[K]V)
+	}
+	m.vals[key] = v
+	return v, nil
+}

@@ -1,0 +1,70 @@
+package runner_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/coda-repro/coda/internal/runner"
+)
+
+func TestMemoBuildsOncePerKey(t *testing.T) {
+	var m runner.Memo[string, int]
+	builds := 0
+	build := func() (int, error) { builds++; return builds * 10, nil }
+	for i := 0; i < 3; i++ {
+		v, err := m.Do("a", build)
+		if err != nil || v != 10 {
+			t.Fatalf("Do(a) = %d, %v; want 10, nil", v, err)
+		}
+	}
+	if v, _ := m.Do("b", build); v != 20 {
+		t.Fatalf("Do(b) = %d; want 20", v)
+	}
+	if builds != 2 {
+		t.Fatalf("build ran %d times, want 2", builds)
+	}
+}
+
+func TestMemoDoesNotCacheFailures(t *testing.T) {
+	var m runner.Memo[int, string]
+	calls := 0
+	_, err := m.Do(1, func() (string, error) { calls++; return "", errors.New("nope") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	v, err := m.Do(1, func() (string, error) { calls++; return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after failure: %q, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2", calls)
+	}
+}
+
+// TestMemoConcurrent exercises the cache from many goroutines so the race
+// detector can vet the locking; every caller must observe the one built
+// value.
+func TestMemoConcurrent(t *testing.T) {
+	var m runner.Memo[int, int]
+	builds := 0
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	vals := make([]int, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals[g], errs[g] = m.Do(7, func() (int, error) { builds++; return 77, nil })
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 16; g++ {
+		if errs[g] != nil || vals[g] != 77 {
+			t.Fatalf("goroutine %d: %d, %v", g, vals[g], errs[g])
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+}

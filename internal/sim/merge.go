@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/coda-repro/coda/internal/metrics"
+)
+
+// Merged aggregates the results of several runs of the same experiment —
+// typically one trace replayed under several seeds. Distributions are
+// pooled (every per-run queueing sample lands in one CDF); counters are
+// summed; headline rates are means of the per-run window means, so every
+// run weighs equally regardless of how long its drain tail ran.
+type Merged struct {
+	// Scheduler is the shared policy name of the merged runs.
+	Scheduler string
+	// Runs is how many results were merged.
+	Runs int
+
+	// GPUQueue, CPUQueue and PerTenant pool the per-run queueing samples.
+	GPUQueue, CPUQueue metrics.CDF
+	PerTenant          *metrics.PerKeyCDF
+
+	// GPUActiveRate, GPUUtil, CPUActiveRate, CPUUtil and FragRate are means
+	// across runs of each run's [0, LastArrival] window mean.
+	GPUActiveRate, GPUUtil float64
+	CPUActiveRate, CPUUtil float64
+	FragRate               float64
+
+	// GPUJobsDone and CPUJobsDone sum completions; Throttles and
+	// Preemptions sum interventions; Faults sums chaos activity.
+	GPUJobsDone, CPUJobsDone int
+	Throttles, Preemptions   int
+	Faults                   metrics.FaultCounters
+
+	// MeanMakeSpan averages the per-run total simulated time.
+	MeanMakeSpan time.Duration
+}
+
+// MergeResults folds per-run results into one Merged aggregate. All
+// results must come from the same scheduler: merging FIFO into CODA is a
+// matrix-bookkeeping bug, not an aggregate. The fold iterates rs in slice
+// order, so the output is deterministic for a fixed argument order.
+func MergeResults(rs []*Result) (*Merged, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("sim: merge of no results")
+	}
+	m := &Merged{
+		Scheduler: rs[0].Scheduler,
+		Runs:      len(rs),
+		PerTenant: metrics.NewPerKeyCDF(),
+	}
+	var makeSpan time.Duration
+	for i, r := range rs {
+		if r == nil {
+			return nil, fmt.Errorf("sim: merge result %d is nil", i)
+		}
+		if r.Scheduler != m.Scheduler {
+			return nil, fmt.Errorf("sim: merge mixes schedulers %q and %q", m.Scheduler, r.Scheduler)
+		}
+		m.GPUQueue.Merge(&r.GPUQueue)
+		m.CPUQueue.Merge(&r.CPUQueue)
+		m.PerTenant.Merge(r.PerTenant)
+		sm := r.Summarize()
+		m.GPUActiveRate += sm.GPUActiveRate
+		m.GPUUtil += sm.GPUUtil
+		m.CPUActiveRate += sm.CPUActiveRate
+		m.CPUUtil += sm.CPUUtil
+		m.FragRate += sm.FragRate
+		m.GPUJobsDone += sm.GPUJobsDone
+		m.CPUJobsDone += sm.CPUJobsDone
+		m.Throttles += r.Throttles
+		m.Preemptions += r.Preemptions
+		m.Faults.Add(r.Faults)
+		makeSpan += r.EndTime
+	}
+	n := float64(len(rs))
+	m.GPUActiveRate /= n
+	m.GPUUtil /= n
+	m.CPUActiveRate /= n
+	m.CPUUtil /= n
+	m.FragRate /= n
+	m.MeanMakeSpan = makeSpan / time.Duration(len(rs))
+	return m, nil
+}

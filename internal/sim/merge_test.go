@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+// fakeResult builds a minimal hand-made Result for merge tests.
+func fakeResult(sched string, gpuQueue time.Duration, util float64, throttles int) *Result {
+	r := newResult(sched)
+	r.LastArrival = time.Hour
+	r.EndTime = 2 * time.Hour
+	r.GPUQueue.Add(gpuQueue)
+	r.CPUQueue.Add(gpuQueue / 2)
+	r.PerTenant.Add(1, gpuQueue)
+	_ = r.GPUUtilSeries.Add(0, util)
+	_ = r.GPUActive.Add(0, util)
+	_ = r.CPUActive.Add(0, util/2)
+	_ = r.CPUUtilSeries.Add(0, util/2)
+	_ = r.FragSeries.Add(0, 0.1)
+	r.Throttles = throttles
+	r.Preemptions = 1
+	r.Faults.JobKills = 2
+	r.Jobs[1] = &JobStats{
+		Job:       &job.Job{ID: 1, Kind: job.KindGPUTraining},
+		Completed: true,
+	}
+	return r
+}
+
+func TestMergeResults(t *testing.T) {
+	a := fakeResult("coda", time.Minute, 0.8, 3)
+	b := fakeResult("coda", 3*time.Minute, 0.6, 1)
+	m, err := MergeResults([]*Result{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheduler != "coda" || m.Runs != 2 {
+		t.Fatalf("header: %q runs=%d", m.Scheduler, m.Runs)
+	}
+	if m.GPUQueue.Len() != 2 || m.CPUQueue.Len() != 2 {
+		t.Errorf("pooled CDFs have %d/%d samples, want 2/2", m.GPUQueue.Len(), m.CPUQueue.Len())
+	}
+	if got := m.PerTenant.Get(1).Len(); got != 2 {
+		t.Errorf("tenant CDF has %d samples, want 2", got)
+	}
+	if m.GPUUtil != 0.7 {
+		t.Errorf("mean GPU util = %g, want 0.7", m.GPUUtil)
+	}
+	if m.Throttles != 4 || m.Preemptions != 2 || m.Faults.JobKills != 4 {
+		t.Errorf("summed counters: throttles=%d preemptions=%d kills=%d", m.Throttles, m.Preemptions, m.Faults.JobKills)
+	}
+	if m.GPUJobsDone != 2 {
+		t.Errorf("GPU completions = %d, want 2", m.GPUJobsDone)
+	}
+	if m.MeanMakeSpan != 2*time.Hour {
+		t.Errorf("mean makespan = %v, want 2h", m.MeanMakeSpan)
+	}
+}
+
+func TestMergeResultsErrors(t *testing.T) {
+	if _, err := MergeResults(nil); err == nil {
+		t.Error("merging no results should fail")
+	}
+	if _, err := MergeResults([]*Result{fakeResult("coda", 0, 0, 0), nil}); err == nil {
+		t.Error("merging a nil result should fail")
+	}
+	mixed := []*Result{fakeResult("coda", 0, 0, 0), fakeResult("fifo", 0, 0, 0)}
+	if _, err := MergeResults(mixed); err == nil {
+		t.Error("merging different schedulers should fail")
+	}
+}

@@ -305,6 +305,10 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 	if err != nil {
 		return nil, err
 	}
+	// Seal the simulator's copy of the options: the fault plan's slice must
+	// not alias the caller's, or editing a reused spec would rewrite this
+	// run's schedule.
+	opts = opts.Clone()
 	s := &Simulator{
 		opts:      opts,
 		cluster:   c,

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/sched"
+)
+
+// Clone returns a deep copy of the options. Options is a value type except
+// for the fault plan's fixed-fault slice; CheckpointSink is a function
+// value and is shared by the copy — give each run its own sink explicitly
+// when runs must not write into the same checkpoint stream.
+func (o Options) Clone() Options {
+	o.Faults = o.Faults.Clone()
+	return o
+}
+
+// RunSpec is a self-contained description of one simulation run: options,
+// trace and scheduler recipe. A spec is a plain value that can be cloned,
+// so one spec can seed many runs (a seed sweep, a matrix cell) without the
+// runs sharing any mutable state.
+//
+// Schedulers are stateful and cannot be copied, so the spec carries a
+// factory instead of an instance: NewScheduler must build a fresh scheduler
+// on every call and must not capture mutable state shared with other specs.
+type RunSpec struct {
+	// Name labels the run in results, errors and reports.
+	Name string
+	// Options configures the simulator.
+	Options Options
+	// Jobs is the trace. Run hands these to the simulator without copying;
+	// clone the spec (or the jobs) before reusing it.
+	Jobs []*job.Job
+	// NewScheduler builds the run's scheduler.
+	NewScheduler func() (sched.Scheduler, error)
+}
+
+// Clone returns a deep copy of the spec: options (including the fault
+// plan) and every job are copied; the scheduler factory is shared, which
+// is safe exactly because it constructs a fresh scheduler per call.
+func (sp RunSpec) Clone() RunSpec {
+	sp.Options = sp.Options.Clone()
+	jobs := make([]*job.Job, len(sp.Jobs))
+	for i, j := range sp.Jobs {
+		jobs[i] = j.Clone()
+	}
+	sp.Jobs = jobs
+	return sp
+}
+
+// Validate checks the spec without building anything.
+func (sp RunSpec) Validate() error {
+	if sp.NewScheduler == nil {
+		return fmt.Errorf("sim: run spec %q has no scheduler factory", sp.Name)
+	}
+	if err := sp.Options.Validate(); err != nil {
+		return fmt.Errorf("sim: run spec %q: %w", sp.Name, err)
+	}
+	return nil
+}
+
+// Run executes the spec on the calling goroutine: build the scheduler,
+// build the simulator, run to completion. It is the single-threaded unit
+// of work the runner package parallelizes across specs.
+func (sp RunSpec) Run() (*Result, error) {
+	if sp.NewScheduler == nil {
+		return nil, errors.New("sim: run spec has no scheduler factory")
+	}
+	scheduler, err := sp.NewScheduler()
+	if err != nil {
+		return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
+	}
+	simulator, err := New(sp.Options, scheduler, sp.Jobs)
+	if err != nil {
+		return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
+	}
+	return res, nil
+}
