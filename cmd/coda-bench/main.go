@@ -29,11 +29,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("coda-bench", flag.ContinueOnError)
 	scaleName := fs.String("scale", "small", "trace scale: tiny, small or full")
-	only := fs.String("only", "", "run one experiment: fig1,fig2,fig3,fig5,fig6,fig7,table1,fig10,fig11,fig12,fig13,fig14,sec6e,sec6g,static,table2,ablations,multiseed")
+	only := fs.String("only", "", "run one experiment: fig1,fig2,fig3,fig5,fig6,fig7,table1,fig10,fig11,fig12,fig13,fig14,sec6e,sec6g,static,table2,ablations,multiseed,macro")
 	seed := fs.Int64("seed", 1, "random seed")
 	csvDir := fs.String("csv", "", "also export plottable figure data as CSV files into this directory")
 	parallel := fs.Int("parallel", 0, "worker-pool width for experiment matrices (0 = GOMAXPROCS)")
 	runs := fs.Int("runs", 3, "seed count for the multiseed section")
+	benchJSON := fs.String("bench-json", "", "write macro-benchmark measurements to this JSON file (BENCH_<name>.json)")
+	benchBaseline := fs.String("bench-baseline", "", "compare macro-benchmark events/sec against this baseline JSON and fail on regression")
+	benchTolerance := fs.Float64("bench-tolerance", 0.20, "allowed fractional events/sec drop vs -bench-baseline before failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,10 +86,14 @@ func run(args []string) error {
 		{"table2", func() error { return printTable2(*seed) }},
 		{"ablations", func() error { return printAblations(sc, *seed) }},
 		{"multiseed", func() error { return printMultiSeed(sc, *seed, *runs) }},
+		{"macro", func() error { return printMacro(sc, *scaleName, *benchJSON, *benchBaseline, *benchTolerance) }},
 	}
 	for _, s := range sections {
 		if !want(s.name) {
 			continue
+		}
+		if s.name == "macro" && *only == "" {
+			continue // three timed full runs: only on explicit -only macro
 		}
 		if err := s.run(); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)

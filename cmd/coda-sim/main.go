@@ -16,8 +16,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/coda-repro/coda/internal/chaos"
@@ -53,6 +57,10 @@ func run(args []string) error {
 	historyIn := fs.String("history-in", "", "warm-start CODA from a saved history log")
 	historyOut := fs.String("history-out", "", "save CODA's history log after the run")
 	invariants := fs.Bool("invariants", false, "validate simulator invariants after every event (slow; aborts on first violation)")
+	invariantsEvery := fs.Int("invariants-every", 0, "with -invariants: run the O(Δ) delta check per event and the full audit every N events (0 = full audit every event)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
+	pprofHTTP := fs.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-schedule seed (defaults to -seed; independent of the noise stream)")
 	crashRate := fs.Float64("crashes-per-day", 0, "expected node crashes per simulated day across the cluster")
 	crashDowntime := fs.Duration("crash-downtime", chaos.DefaultCrashDowntime, "how long a crashed node stays down")
@@ -73,6 +81,29 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker-pool width for -runs > 1 (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, perr := os.Create(*cpuProfile)
+		if perr != nil {
+			return perr
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
+	if *pprofHTTP != "" {
+		addr := *pprofHTTP
+		go func() {
+			if herr := http.ListenAndServe(addr, nil); herr != nil {
+				fmt.Fprintln(os.Stderr, "coda-sim: pprof-http:", herr)
+			}
+		}()
 	}
 
 	if *runs < 1 {
@@ -127,6 +158,7 @@ func run(args []string) error {
 	opts.SampleInterval = 10 * time.Minute
 	opts.MaxVirtualTime = sc.Duration() + 4*24*time.Hour
 	opts.Invariants = *invariants
+	opts.InvariantsEvery = *invariantsEvery
 
 	if *faultSeed == 0 {
 		*faultSeed = sc.Seed
@@ -241,6 +273,21 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeMemProfile snapshots the heap after a final GC. Runs in a defer, so
+// failures are reported rather than returned.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coda-sim: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "coda-sim: memprofile:", err)
+	}
 }
 
 // policyFactory returns a factory that builds a fresh scheduler per call.

@@ -185,6 +185,18 @@ func (n *Node) UsedGPUs() int { return n.usedGPUs }
 // JobCount returns the number of jobs with a share on this node.
 func (n *Node) JobCount() int { return len(n.jobs) }
 
+// AppendJobs appends the IDs of jobs holding resources on this node to
+// buf, unsorted, and returns the extended slice. The allocation-free
+// sibling of Jobs for callers that reuse a scratch buffer and sort (or
+// don't care about order) themselves.
+func (n *Node) AppendJobs(buf []job.ID) []job.ID {
+	//coda:ordered-ok callers sort the collected IDs or are order-independent
+	for id := range n.jobs {
+		buf = append(buf, id)
+	}
+	return buf
+}
+
 // Jobs returns the IDs of jobs holding resources on this node, sorted.
 func (n *Node) Jobs() []job.ID {
 	ids := make([]job.ID, 0, len(n.jobs))
@@ -212,7 +224,32 @@ type Cluster struct {
 	nodes []*Node
 	// placements maps a job to the node IDs hosting it.
 	placements map[job.ID][]int
+	// placementQueries counts placement scans (FindNodes and the
+	// scheduler-side query helpers); the benchmark harness reads it to
+	// report placement-queries/sec.
+	placementQueries int64
+	// index buckets nodes by free capacity; kept in sync by every mutator
+	// so placement queries never scan or sort.
+	index *capacityIndex
+	// touched journals the node IDs every mutator changed since the last
+	// ResetTouched — the delta invariant checker audits exactly these.
+	touched []int
 }
+
+// TouchedNodes returns the IDs of nodes mutated since the last
+// ResetTouched, in mutation order, possibly with duplicates. Callers must
+// not retain the slice across a ResetTouched.
+func (c *Cluster) TouchedNodes() []int { return c.touched }
+
+// ResetTouched clears the touched-node journal, keeping its capacity.
+func (c *Cluster) ResetTouched() { c.touched = c.touched[:0] }
+
+// NotePlacementQuery counts one placement scan. The scheduler-side query
+// helpers call it so benchmarks can report placement-queries/sec.
+func (c *Cluster) NotePlacementQuery() { c.placementQueries++ }
+
+// PlacementQueries returns the number of placement scans answered.
+func (c *Cluster) PlacementQueries() int64 { return c.placementQueries }
 
 // New builds a cluster from cfg.
 func New(cfg Config) (*Cluster, error) {
@@ -237,6 +274,7 @@ func New(cfg Config) (*Cluster, error) {
 			jobs:         make(map[job.ID]nodeShare),
 		}
 	}
+	c.index = newCapacityIndex(c.nodes)
 	return c, nil
 }
 
@@ -336,9 +374,12 @@ func (c *Cluster) Allocate(id job.ID, alloc job.Allocation) error {
 	}
 	for _, nid := range alloc.NodeIDs {
 		n := c.nodes[nid]
+		oldGPUs, oldCores := n.FreeGPUs(), n.FreeCores()
 		n.usedCores += alloc.CPUCores
 		n.usedGPUs += alloc.GPUs
 		n.jobs[id] = nodeShare{cores: alloc.CPUCores, gpus: alloc.GPUs}
+		c.reindexFrom(n, oldGPUs, oldCores)
+		c.touched = append(c.touched, nid)
 	}
 	c.placements[id] = append([]int(nil), alloc.NodeIDs...)
 	return nil
@@ -353,9 +394,12 @@ func (c *Cluster) Release(id job.ID) error {
 	for _, nid := range nodeIDs {
 		n := c.nodes[nid]
 		share := n.jobs[id]
+		oldGPUs, oldCores := n.FreeGPUs(), n.FreeCores()
 		n.usedCores -= share.cores
 		n.usedGPUs -= share.gpus
 		delete(n.jobs, id)
+		c.reindexFrom(n, oldGPUs, oldCores)
+		c.touched = append(c.touched, nid)
 	}
 	delete(c.placements, id)
 	return nil
@@ -384,9 +428,12 @@ func (c *Cluster) Resize(id job.ID, newCores int) error {
 	for _, nid := range nodeIDs {
 		n := c.nodes[nid]
 		share := n.jobs[id]
+		oldGPUs, oldCores := n.FreeGPUs(), n.FreeCores()
 		n.usedCores += newCores - share.cores
 		share.cores = newCores
 		n.jobs[id] = share
+		c.reindexFrom(n, oldGPUs, oldCores)
+		c.touched = append(c.touched, nid)
 	}
 	return nil
 }
@@ -403,7 +450,10 @@ func (c *Cluster) SetNodeState(id int, st NodeState) error {
 	}
 	switch st {
 	case NodeUp, NodeDraining, NodeDown:
+		oldGPUs, oldCores := n.FreeGPUs(), n.FreeCores()
 		n.state = st
+		c.reindexFrom(n, oldGPUs, oldCores)
+		c.touched = append(c.touched, id)
 		return nil
 	default:
 		return fmt.Errorf("cluster: unknown node state %v", st)
@@ -430,6 +480,14 @@ func (c *Cluster) Placement(id job.ID) ([]int, bool) {
 	return append([]int(nil), nodeIDs...), true
 }
 
+// PlacementSize returns how many nodes host job id without copying the
+// placement (the allocation-free sibling of Placement for consistency
+// checks).
+func (c *Cluster) PlacementSize(id job.ID) (int, bool) {
+	nodeIDs, ok := c.placements[id]
+	return len(nodeIDs), ok
+}
+
 // JobCores returns the per-node core count job id holds (0 if not placed).
 func (c *Cluster) JobCores(id job.ID) int {
 	nodeIDs, ok := c.placements[id]
@@ -445,29 +503,22 @@ func (c *Cluster) JobCores(id job.ID) int {
 // bestFit is true, else first-fit in ID order. Returns nil if fewer than
 // want nodes qualify.
 func (c *Cluster) FindNodes(want, cores, gpus int, bestFit bool) []int {
+	c.NotePlacementQuery()
 	if want <= 0 {
 		return nil
 	}
-	candidates := make([]int, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		if n.Fits(cores, gpus) {
-			candidates = append(candidates, n.ID)
-		}
-	}
-	if len(candidates) < want {
+	if c.CountPlaceable(cores, gpus) < want {
 		return nil
 	}
-	if bestFit {
-		sort.SliceStable(candidates, func(i, j int) bool {
-			a, b := c.nodes[candidates[i]], c.nodes[candidates[j]]
-			// Fewer free GPUs first (pack GPU holes), then fewer free cores.
-			if a.FreeGPUs() != b.FreeGPUs() {
-				return a.FreeGPUs() < b.FreeGPUs()
-			}
-			return a.FreeCores() < b.FreeCores()
-		})
-	}
-	return candidates[:want]
+	// ScanPlaceable's best-fit order (fewest free GPUs, then fewest free
+	// cores, then lowest ID) matches the stable sort this method used to
+	// apply to ID-ordered candidates; first-fit is the same ID scan.
+	out := make([]int, 0, want)
+	c.ScanPlaceable(cores, gpus, bestFit, func(n *Node) bool {
+		out = append(out, n.ID)
+		return len(out) < want
+	})
+	return out
 }
 
 // StrandedGPUs counts free GPUs on nodes whose free cores are below
@@ -522,31 +573,54 @@ func (c *Cluster) Snapshot() Snapshot {
 	return s
 }
 
+// CheckNodeInvariants verifies one node's accounting consistency and its
+// capacity-index position — the O(1)-per-node audit the simulator's delta
+// invariant checker runs on nodes an event touched.
+func (c *Cluster) CheckNodeInvariants(nid int) error {
+	n, err := c.Node(nid)
+	if err != nil {
+		return err
+	}
+	cores, gpus := 0, 0
+	for _, s := range n.jobs {
+		cores += s.cores
+		gpus += s.gpus
+	}
+	if cores != n.usedCores {
+		return fmt.Errorf("node %d: job shares sum to %d cores, counter says %d", n.ID, cores, n.usedCores)
+	}
+	if gpus != n.usedGPUs {
+		return fmt.Errorf("node %d: job shares sum to %d gpus, counter says %d", n.ID, gpus, n.usedGPUs)
+	}
+	if n.usedCores < 0 || n.usedCores > n.Cores {
+		return fmt.Errorf("node %d: used cores %d out of [0,%d]", n.ID, n.usedCores, n.Cores)
+	}
+	if n.usedGPUs < 0 || n.usedGPUs > n.GPUs {
+		return fmt.Errorf("node %d: used gpus %d out of [0,%d]", n.ID, n.usedGPUs, n.GPUs)
+	}
+	if n.state == NodeDown && len(n.jobs) > 0 {
+		return fmt.Errorf("node %d: down but still hosts %d job(s)", n.ID, len(n.jobs))
+	}
+	if !c.index.contains(n.FreeGPUs(), n.FreeCores(), n.ID) {
+		return fmt.Errorf("node %d: missing from capacity-index cell (%d free gpus, %d free cores)",
+			n.ID, n.FreeGPUs(), n.FreeCores())
+	}
+	return nil
+}
+
 // CheckInvariants verifies internal accounting consistency; it returns an
 // error describing the first violation found. Used by tests and the
 // simulator's self-checks.
 func (c *Cluster) CheckInvariants() error {
 	for _, n := range c.nodes {
-		cores, gpus := 0, 0
-		for _, s := range n.jobs {
-			cores += s.cores
-			gpus += s.gpus
+		if err := c.CheckNodeInvariants(n.ID); err != nil {
+			return err
 		}
-		if cores != n.usedCores {
-			return fmt.Errorf("node %d: job shares sum to %d cores, counter says %d", n.ID, cores, n.usedCores)
-		}
-		if gpus != n.usedGPUs {
-			return fmt.Errorf("node %d: job shares sum to %d gpus, counter says %d", n.ID, gpus, n.usedGPUs)
-		}
-		if n.usedCores < 0 || n.usedCores > n.Cores {
-			return fmt.Errorf("node %d: used cores %d out of [0,%d]", n.ID, n.usedCores, n.Cores)
-		}
-		if n.usedGPUs < 0 || n.usedGPUs > n.GPUs {
-			return fmt.Errorf("node %d: used gpus %d out of [0,%d]", n.ID, n.usedGPUs, n.GPUs)
-		}
-		if n.state == NodeDown && len(n.jobs) > 0 {
-			return fmt.Errorf("node %d: down but still hosts %d job(s)", n.ID, len(n.jobs))
-		}
+	}
+	// Per-node checks prove every node appears in its correct index cell;
+	// a matching total rules out stale leftover entries anywhere else.
+	if got := c.index.size(); got != len(c.nodes) {
+		return fmt.Errorf("capacity index holds %d entries for %d nodes", got, len(c.nodes))
 	}
 	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
 	for id, nodeIDs := range c.placements {

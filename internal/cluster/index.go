@@ -1,0 +1,174 @@
+package cluster
+
+import "sort"
+
+// capacityIndex buckets node IDs by their effective free capacity so
+// placement queries can iterate candidates in packing order without
+// scanning, sorting or allocating. Nodes that are not up report zero free
+// cores and GPUs, so they live in cell (0, 0) and a state change is an
+// ordinary cell move — the index never needs to know about node states.
+//
+// Every cell holds ascending node IDs, so iterating cells free-GPUs-first
+// reproduces exactly the order the previous implementation obtained by
+// stable-sorting an ID-ordered candidate slice on (FreeGPUs, FreeCores):
+// best-fit and worst-fit scans stay bit-identical to the pre-index engine.
+type capacityIndex struct {
+	maxCores int
+	maxGPUs  int
+	// cells[g*(maxCores+1)+c] holds the IDs of nodes with FreeGPUs() == g
+	// and FreeCores() == c, ascending.
+	cells [][]int
+}
+
+func newCapacityIndex(nodes []*Node) *capacityIndex {
+	ix := &capacityIndex{}
+	for _, n := range nodes {
+		if n.Cores > ix.maxCores {
+			ix.maxCores = n.Cores
+		}
+		if n.GPUs > ix.maxGPUs {
+			ix.maxGPUs = n.GPUs
+		}
+	}
+	ix.cells = make([][]int, (ix.maxGPUs+1)*(ix.maxCores+1))
+	for _, n := range nodes {
+		ix.insert(n.FreeGPUs(), n.FreeCores(), n.ID)
+	}
+	return ix
+}
+
+func (ix *capacityIndex) cellIdx(gpus, cores int) int {
+	return gpus*(ix.maxCores+1) + cores
+}
+
+func (ix *capacityIndex) insert(gpus, cores, id int) {
+	cell := &ix.cells[ix.cellIdx(gpus, cores)]
+	i := sort.SearchInts(*cell, id)
+	*cell = append(*cell, 0)
+	copy((*cell)[i+1:], (*cell)[i:])
+	(*cell)[i] = id
+}
+
+func (ix *capacityIndex) remove(gpus, cores, id int) {
+	cell := &ix.cells[ix.cellIdx(gpus, cores)]
+	i := sort.SearchInts(*cell, id)
+	if i < len(*cell) && (*cell)[i] == id {
+		*cell = append((*cell)[:i], (*cell)[i+1:]...)
+	}
+}
+
+func (ix *capacityIndex) contains(gpus, cores, id int) bool {
+	if gpus < 0 || gpus > ix.maxGPUs || cores < 0 || cores > ix.maxCores {
+		return false
+	}
+	cell := ix.cells[ix.cellIdx(gpus, cores)]
+	i := sort.SearchInts(cell, id)
+	return i < len(cell) && cell[i] == id
+}
+
+// size returns the total number of indexed entries (must equal the node
+// count when the index is consistent).
+func (ix *capacityIndex) size() int {
+	total := 0
+	for _, cell := range ix.cells {
+		total += len(cell)
+	}
+	return total
+}
+
+// reindexFrom moves a node to the cell matching its current free capacity.
+// oldGPUs/oldCores are the node's free values captured before the
+// mutation; every Cluster mutator calls this for each touched node.
+func (c *Cluster) reindexFrom(n *Node, oldGPUs, oldCores int) {
+	newGPUs, newCores := n.FreeGPUs(), n.FreeCores()
+	if newGPUs == oldGPUs && newCores == oldCores {
+		return
+	}
+	c.index.remove(oldGPUs, oldCores, n.ID)
+	c.index.insert(newGPUs, newCores, n.ID)
+}
+
+// CountPlaceable returns how many nodes currently fit cores and gpus —
+// the index-backed equivalent of counting Fits over all nodes.
+func (c *Cluster) CountPlaceable(cores, gpus int) int {
+	if cores < 0 {
+		cores = 0
+	}
+	if gpus < 0 {
+		gpus = 0
+	}
+	ix := c.index
+	if cores > ix.maxCores || gpus > ix.maxGPUs {
+		return 0
+	}
+	count := 0
+	for g := gpus; g <= ix.maxGPUs; g++ {
+		for cc := cores; cc <= ix.maxCores; cc++ {
+			count += len(ix.cells[ix.cellIdx(g, cc)])
+		}
+	}
+	return count
+}
+
+// ScanPlaceable calls fn for each node that fits cores and gpus until fn
+// returns false. With bestFit the nodes come in packing order — fewest
+// free GPUs first, then fewest free cores, then lowest ID — exactly the
+// order placement previously obtained by stable-sorting candidates;
+// otherwise nodes come in ID order (first-fit). fn must not mutate the
+// cluster: allocations move nodes between index cells mid-scan.
+func (c *Cluster) ScanPlaceable(cores, gpus int, bestFit bool, fn func(*Node) bool) {
+	if !bestFit {
+		for _, n := range c.nodes {
+			if n.Fits(cores, gpus) && !fn(n) {
+				return
+			}
+		}
+		return
+	}
+	if cores < 0 {
+		cores = 0
+	}
+	if gpus < 0 {
+		gpus = 0
+	}
+	ix := c.index
+	if cores > ix.maxCores || gpus > ix.maxGPUs {
+		return
+	}
+	for g := gpus; g <= ix.maxGPUs; g++ {
+		for cc := cores; cc <= ix.maxCores; cc++ {
+			for _, id := range ix.cells[ix.cellIdx(g, cc)] {
+				if !fn(c.nodes[id]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ScanFreeDesc calls fn for every node in worst-fit order — most free
+// GPUs first, then most free cores, then lowest ID — until fn returns
+// false. Nodes that are not up report zero free capacity and come last.
+// fn must not mutate the cluster.
+func (c *Cluster) ScanFreeDesc(fn func(*Node) bool) {
+	ix := c.index
+	for g := ix.maxGPUs; g >= 0; g-- {
+		for cc := ix.maxCores; cc >= 0; cc-- {
+			for _, id := range ix.cells[ix.cellIdx(g, cc)] {
+				if !fn(c.nodes[id]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EachNode calls fn for every node in ID order until fn returns false,
+// without copying the node slice (the allocation-free Nodes()).
+func (c *Cluster) EachNode(fn func(*Node) bool) {
+	for _, n := range c.nodes {
+		if !fn(n) {
+			return
+		}
+	}
+}

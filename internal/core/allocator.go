@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/coda-repro/coda/internal/history"
@@ -74,6 +74,8 @@ type Allocator struct {
 	settled map[job.ID]settleInfo
 	// steps keeps every job's profiling-step count permanently (Table II).
 	steps map[job.ID]int
+	// due is per-tick scratch reused across ticks.
+	due []job.ID
 }
 
 // settleInfo records a finished search (the eliminator compares live
@@ -240,14 +242,15 @@ func (a *Allocator) Tuning(id job.ID) bool {
 // for runs to reproduce.
 func (a *Allocator) Tick() {
 	now := a.env.Now()
-	due := make([]job.ID, 0, len(a.tuning))
+	due := a.due[:0]
 	//coda:ordered-ok collected IDs are sorted before the searches advance
 	for id, st := range a.tuning {
 		if now >= st.nextCheck {
 			due = append(due, id)
 		}
 	}
-	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	slices.Sort(due)
+	a.due = due
 	for _, id := range due {
 		if st, ok := a.tuning[id]; ok {
 			a.advance(id, st)

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/coda-repro/coda/internal/cluster"
@@ -56,6 +56,10 @@ type Scheduler struct {
 	arrived map[job.ID]time.Duration
 	done    int
 	gpus    int // gpus per node, for rebalance
+
+	// Per-drain scratch reused across ticks.
+	beforeDrain map[job.ID]bool
+	newlyUp     []job.ID
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)
@@ -239,7 +243,11 @@ func (s *Scheduler) Tick() {
 // drain runs the arrays' scheduling pass and starts tuning sessions for
 // training jobs that were just placed.
 func (s *Scheduler) drain() {
-	before := make(map[job.ID]bool, len(s.arrays.running))
+	if s.beforeDrain == nil {
+		s.beforeDrain = make(map[job.ID]bool, len(s.arrays.running))
+	}
+	before := s.beforeDrain
+	clear(before)
 	for id := range s.arrays.running {
 		before[id] = true
 	}
@@ -248,14 +256,15 @@ func (s *Scheduler) drain() {
 	// per-job state machine, and a map-order walk here would thread Go's
 	// iteration randomness into which session the next shared-noise reading
 	// belongs to.
-	started := make([]job.ID, 0, len(s.arrays.running))
+	started := s.newlyUp[:0]
 	//coda:ordered-ok collected IDs are sorted before use
 	for id := range s.arrays.running {
 		if !before[id] {
 			started = append(started, id)
 		}
 	}
-	sort.Slice(started, func(i, j int) bool { return started[i] < started[j] })
+	slices.Sort(started)
+	s.newlyUp = started
 	for _, id := range started {
 		info := s.arrays.running[id]
 		if _, ok := s.started[id]; !ok {

@@ -30,7 +30,9 @@ func TestPendingTenantsSorted(t *testing.T) {
 	}
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 
-	got := pendingTenants(queues)
+	var m MultiArray
+	// Copy: pendingTenants returns a reused scratch slice.
+	got := append([]job.TenantID(nil), m.pendingTenants(queues)...)
 	if len(got) != len(want) {
 		t.Fatalf("pendingTenants returned %v, want %v", got, want)
 	}
@@ -46,7 +48,7 @@ func TestPendingTenantsSorted(t *testing.T) {
 	// Go randomizes map order per iteration, so an unsorted implementation
 	// flakes across repeats; a sorted one never does.
 	for rep := 0; rep < 50; rep++ {
-		again := pendingTenants(queues)
+		again := m.pendingTenants(queues)
 		for i := range got {
 			if again[i] != got[i] {
 				t.Fatalf("rep %d: pendingTenants returned %v, previously %v", rep, again, got)
@@ -119,10 +121,11 @@ func BenchmarkPendingTenants1kTenants(b *testing.B) {
 		// Spread the IDs so insertion order and sorted order disagree.
 		queues[job.TenantID(i*7919%100003)] = q
 	}
+	var m MultiArray
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := pendingTenants(queues); len(got) != 1000 {
+		if got := m.pendingTenants(queues); len(got) != 1000 {
 			b.Fatalf("got %d tenants", len(got))
 		}
 	}

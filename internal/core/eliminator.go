@@ -1,9 +1,11 @@
 package core
 
 import (
+	"slices"
 	"time"
 
 	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/membw"
 	"github.com/coda-repro/coda/internal/sched"
 )
 
@@ -51,6 +53,9 @@ type Eliminator struct {
 	// degraded counts node checks skipped because bandwidth telemetry was
 	// dark (chaos dropouts): the eliminator held its last decision.
 	degraded int
+	// Per-pass scratch reused across node checks.
+	jobIDs []job.ID
+	usages []membw.JobUsage
 }
 
 // intervention records how a CPU job was restrained.
@@ -120,7 +125,9 @@ func (e *Eliminator) trainingJobDegraded(nid int) bool {
 	if err != nil {
 		return false
 	}
-	for _, id := range n.Jobs() {
+	e.jobIDs = n.AppendJobs(e.jobIDs[:0])
+	slices.Sort(e.jobIDs)
+	for _, id := range e.jobIDs {
 		info, ok := e.alloc.Settled(id)
 		if !ok || info.Util <= 0 {
 			continue
@@ -168,7 +175,8 @@ func (e *Eliminator) restrain(nid int) {
 	if excess <= 0 {
 		return
 	}
-	for _, u := range meter.Jobs() {
+	e.usages = meter.AppendJobs(e.usages[:0])
+	for _, u := range e.usages {
 		if !u.CPUJob || u.EffectiveGBs <= 0 {
 			continue
 		}
@@ -210,7 +218,8 @@ func (e *Eliminator) relax(nid int) {
 	if err != nil {
 		return
 	}
-	for _, u := range meter.Jobs() {
+	e.usages = meter.AppendJobs(e.usages[:0])
+	for _, u := range e.usages {
 		iv, ok := e.throttled[u.ID]
 		if !ok {
 			continue

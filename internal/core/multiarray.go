@@ -3,7 +3,7 @@ package core
 import (
 	"container/list"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/coda-repro/coda/internal/cluster"
 	"github.com/coda-repro/coda/internal/fair"
@@ -73,6 +73,18 @@ type MultiArray struct {
 	DisablePreemption bool
 	// preemptions counts cross-array reclaims (for reports).
 	preemptions int
+
+	// Per-pass scratch reused across drains (a scheduler is single-threaded).
+	blocked    map[job.TenantID]bool
+	tenants    []job.TenantID
+	candidates []job.TenantID
+	nodeOrder  []int
+	cands      []gpuCandidate
+}
+
+// gpuCandidate is a feasible node for a GPU placement pass.
+type gpuCandidate struct {
+	nid, freeGPUs, pref int
 }
 
 // NewMultiArray builds the scheduler for a cluster of nodes × coresPerNode
@@ -275,21 +287,23 @@ func (m *MultiArray) ResizeRunning(id job.ID, newCores int) error {
 	return nil
 }
 
-// pendingTenants lists tenants with non-empty queues, sorted by tenant ID.
+// pendingTenants lists tenants with non-empty queues, sorted by tenant ID,
+// into the reusable m.tenants scratch (valid until the next call).
 // The order is load-bearing: the candidate list feeds DRF's PoorestTenant,
 // and handing it Go's randomized map order would make same-seed replay
 // depend on every downstream consumer re-sorting correctly. Sorting here
 // makes the candidate order seed-stable by construction (the determinism
 // invariant coda-lint enforces).
-func pendingTenants(queues map[job.TenantID]*list.List) []job.TenantID {
-	out := make([]job.TenantID, 0, len(queues))
+func (m *MultiArray) pendingTenants(queues map[job.TenantID]*list.List) []job.TenantID {
+	out := m.tenants[:0]
 	//coda:ordered-ok collected tenant IDs are sorted before return
 	for t, q := range queues {
 		if q.Len() > 0 {
 			out = append(out, t)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	m.tenants = out
 	return out
 }
 
@@ -312,14 +326,19 @@ func (m *MultiArray) Drain() {
 
 // drainGPU progressively fills the GPU arrays in DRF order.
 func (m *MultiArray) drainGPU() {
-	blocked := make(map[job.TenantID]bool)
+	if m.blocked == nil {
+		m.blocked = make(map[job.TenantID]bool)
+	}
+	blocked := m.blocked
+	clear(blocked)
 	for {
-		var candidates []job.TenantID
-		for _, t := range pendingTenants(m.gpuQueues) {
+		candidates := m.candidates[:0]
+		for _, t := range m.pendingTenants(m.gpuQueues) {
 			if !blocked[t] {
 				candidates = append(candidates, t)
 			}
 		}
+		m.candidates = candidates
 		tenant, ok := m.gpuAcc.PoorestTenant(candidates)
 		if !ok {
 			return
@@ -347,14 +366,19 @@ func (m *MultiArray) drainGPU() {
 // aborts the running CPU job", §V-C).
 func (m *MultiArray) drainCPU() {
 	allowBorrow := true
-	blocked := make(map[job.TenantID]bool)
+	if m.blocked == nil {
+		m.blocked = make(map[job.TenantID]bool)
+	}
+	blocked := m.blocked
+	clear(blocked)
 	for {
-		var candidates []job.TenantID
-		for _, t := range pendingTenants(m.cpuQueues) {
+		candidates := m.candidates[:0]
+		for _, t := range m.pendingTenants(m.cpuQueues) {
 			if !blocked[t] {
 				candidates = append(candidates, t)
 			}
 		}
+		m.candidates = candidates
 		tenant, ok := m.cpuAcc.PoorestTenant(candidates)
 		if !ok {
 			return
@@ -375,10 +399,11 @@ func (m *MultiArray) drainCPU() {
 }
 
 // gpuNodeOrder returns the placement preference for a training job: its
-// own sub-array first, the other as fallback (§V-C).
+// own sub-array first, the other as fallback (§V-C). The returned slice is
+// the reusable m.nodeOrder scratch, valid until the next call.
 func (m *MultiArray) gpuNodeOrder(j *job.Job) []int {
 	large := j.Request.GPUs >= LargeJobGPUs
-	order := make([]int, 0, len(m.fourG)+len(m.oneG))
+	order := m.nodeOrder[:0]
 	if large {
 		order = append(order, m.fourG...)
 		order = append(order, m.oneG...)
@@ -386,6 +411,7 @@ func (m *MultiArray) gpuNodeOrder(j *job.Job) []int {
 		order = append(order, m.oneG...)
 		order = append(order, m.fourG...)
 	}
+	m.nodeOrder = order
 	return order
 }
 
@@ -430,13 +456,11 @@ func (m *MultiArray) startGPUAt(j *job.Job, cores int) bool {
 	}
 
 	pickNodes := func(withPreempt bool) []int {
+		m.env.Cluster().NotePlacementQuery()
 		// Collect all feasible nodes in preference order, then pack
 		// best-fit (fewest free GPUs first) so large GPU holes survive for
 		// 4-GPU jobs — the multi-array design's anti-fragmentation goal.
-		type candidate struct {
-			nid, freeGPUs, pref int
-		}
-		var cands []candidate
+		cands := m.cands[:0]
 		for pref, nid := range order {
 			n, err := m.env.Cluster().Node(nid)
 			if err != nil || n.FreeGPUs() < gpus {
@@ -450,33 +474,42 @@ func (m *MultiArray) startGPUAt(j *job.Job, cores int) bool {
 			if headroom < cores {
 				continue
 			}
-			cands = append(cands, candidate{nid: nid, freeGPUs: n.FreeGPUs(), pref: pref})
+			cands = append(cands, gpuCandidate{nid: nid, freeGPUs: n.FreeGPUs(), pref: pref})
 		}
+		m.cands = cands
 		if len(cands) < j.Request.Nodes {
 			return nil
 		}
 		// breaksHole marks placements that would split an intact >= 4-GPU
 		// hole, the resource large jobs need; keep such holes whole unless
 		// nothing else fits.
-		breaksHole := func(c candidate) bool {
+		breaksHole := func(c gpuCandidate) bool {
 			return gpus < LargeJobGPUs &&
 				c.freeGPUs >= LargeJobGPUs && c.freeGPUs-gpus < LargeJobGPUs
 		}
-		sort.Slice(cands, func(a, b int) bool {
+		slices.SortFunc(cands, func(a, b gpuCandidate) int {
 			// Stay within the preferred sub-array region first, avoid
-			// breaking 4-GPU holes second, then pack best-fit.
-			aOwn, bOwn := cands[a].pref < ownLen, cands[b].pref < ownLen
+			// breaking 4-GPU holes second, then pack best-fit. The nid
+			// tie-break makes this a total order, so the sort is
+			// deterministic regardless of algorithm.
+			aOwn, bOwn := a.pref < ownLen, b.pref < ownLen
 			if aOwn != bOwn {
-				return aOwn
+				if aOwn {
+					return -1
+				}
+				return 1
 			}
-			aBreak, bBreak := breaksHole(cands[a]), breaksHole(cands[b])
+			aBreak, bBreak := breaksHole(a), breaksHole(b)
 			if aBreak != bBreak {
-				return !aBreak
+				if bBreak {
+					return -1
+				}
+				return 1
 			}
-			if cands[a].freeGPUs != cands[b].freeGPUs {
-				return cands[a].freeGPUs < cands[b].freeGPUs
+			if a.freeGPUs != b.freeGPUs {
+				return a.freeGPUs - b.freeGPUs
 			}
-			return cands[a].nid < cands[b].nid
+			return a.nid - b.nid
 		})
 		nodes := make([]int, 0, j.Request.Nodes)
 		for _, c := range cands[:j.Request.Nodes] {
@@ -557,6 +590,7 @@ func (m *MultiArray) reclaimNode(nid int, cores int) bool {
 // the highest ID (the 1-GPU sub-array's tail) so the 4-GPU sub-array's
 // shared pools stay emptier, keeping large-job placements cheap.
 func (m *MultiArray) startCPU(j *job.Job, allowBorrow bool) bool {
+	m.env.Cluster().NotePlacementQuery()
 	cores := j.Request.CPUCores
 	for nid := len(m.budgets) - 1; nid >= 0; nid-- {
 		n, err := m.env.Cluster().Node(nid)

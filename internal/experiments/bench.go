@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/coda-repro/coda/internal/core"
+	"github.com/coda-repro/coda/internal/sched"
+	"github.com/coda-repro/coda/internal/sim"
+)
+
+// BenchInvariantsEvery is the full-audit cadence the invariants bench
+// variant runs with: the O(Δ) delta check fires after every event and the
+// full audit every this many events — the production-shaped configuration
+// the delta checker was built for (tests still audit fully per event).
+const BenchInvariantsEvery = 1000
+
+// BenchSpec declares one macro-benchmark run: the scale's trace replayed
+// under one scheduler ("fifo", "drf" or "coda"), optionally with the
+// invariant checker on in its delta-plus-cadence configuration.
+// cmd/coda-bench times spec.Run() around this to report events/sec and
+// placement-queries/sec.
+func BenchSpec(sc Scale, scheduler string, invariants bool) (sim.RunSpec, error) {
+	jobs, err := sc.generate()
+	if err != nil {
+		return sim.RunSpec{}, err
+	}
+	opts := sc.simOptions()
+	opts.Invariants = invariants
+	if invariants {
+		opts.InvariantsEvery = BenchInvariantsEvery
+	}
+	var newScheduler func() (sched.Scheduler, error)
+	switch scheduler {
+	case "fifo":
+		newScheduler = newFIFO()
+	case "drf":
+		newScheduler = newDRF(opts.Cluster)
+	case "coda":
+		newScheduler = newCODA(core.DefaultConfig(), opts.Cluster)
+	default:
+		return sim.RunSpec{}, fmt.Errorf("experiments: unknown bench scheduler %q", scheduler)
+	}
+	name := "macro-" + scheduler
+	if invariants {
+		name += "-inv"
+	}
+	return sim.RunSpec{Name: name, Options: opts, Jobs: jobs, NewScheduler: newScheduler}, nil
+}

@@ -1,0 +1,62 @@
+// pooled.go seeds the allocation-discipline idioms the simulator's fast
+// path leans on — an instance-owned event free list, scratch-slice reuse,
+// and clear()-based map recycling — and checks the linter stays quiet on
+// the idioms themselves while still firing on real violations written
+// inside pooled code.
+package fixture
+
+// pooledEvent mirrors the simulator's heap entry shape.
+type pooledEvent struct {
+	at  int64
+	seq int64
+}
+
+// eventPool is an instance-owned free list (never a sync.Pool: recycle
+// order must be deterministic) plus per-pass scratch.
+type eventPool struct {
+	free    []*pooledEvent
+	scratch []int64
+	seen    map[int64]bool
+}
+
+// get pops a recycled event or allocates; the zeroing write must not trip
+// any rule.
+func (p *eventPool) get() *pooledEvent {
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*ev = pooledEvent{}
+		return ev
+	}
+	return new(pooledEvent)
+}
+
+// put recycles an event into the free list.
+func (p *eventPool) put(ev *pooledEvent) {
+	p.free = append(p.free, ev)
+}
+
+// drainPending exercises the scratch-reuse pattern: clear() keeps the map
+// allocation, buf[:0] keeps the slice allocation, and map iteration inside
+// pooled code is held to the same ordered-iteration standard as anywhere
+// else.
+func (p *eventPool) drainPending(pending map[int64]*pooledEvent) []int64 {
+	if p.seen == nil {
+		p.seen = make(map[int64]bool)
+	}
+	clear(p.seen)
+	out := p.scratch[:0]
+	for seq := range pending { // want "ordered-map-iteration"
+		out = append(out, seq)
+	}
+	//coda:ordered-ok fixture: collected seqs are fully ordered by the caller's sort
+	for seq := range pending {
+		if !p.seen[seq] {
+			p.seen[seq] = true
+			out = append(out, seq)
+		}
+	}
+	p.scratch = out
+	return out
+}

@@ -2,7 +2,6 @@ package membw
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/coda-repro/coda/internal/job"
 )
@@ -34,11 +33,10 @@ func (m *Monitor) CheckpointState() MonitorState {
 	st := MonitorState{Meters: make([]MeterState, len(m.meters))}
 	for i, meter := range m.meters {
 		ms := MeterState{Jobs: make([]JobState, 0, len(meter.jobs))}
-		//coda:ordered-ok entries are sorted below before serialization
-		for id, u := range meter.jobs {
+		for _, id := range meter.ids {
+			u := meter.jobs[id]
 			ms.Jobs = append(ms.Jobs, JobState{ID: id, Demand: u.demand, Cap: u.cap, CPUJob: u.cpuJob})
 		}
-		sort.Slice(ms.Jobs, func(a, b int) bool { return ms.Jobs[a].ID < ms.Jobs[b].ID })
 		st.Meters[i] = ms
 	}
 	return st
@@ -65,6 +63,7 @@ func (m *Monitor) RestoreCheckpointState(st MonitorState) error {
 				return fmt.Errorf("membw: node %d has duplicate job %d in checkpoint", i, js.ID)
 			}
 			meter.jobs[js.ID] = usage{demand: js.Demand, cap: js.Cap, cpuJob: js.CPUJob}
+			meter.insertID(js.ID)
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ package membw
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/coda-repro/coda/internal/job"
@@ -48,6 +49,26 @@ type Meter struct {
 	// mbaSupported reports whether the node's CPU supports MBA throttling.
 	mbaSupported bool
 	jobs         map[job.ID]usage
+	// ids mirrors the keys of jobs sorted ascending, maintained on
+	// register/deregister so Total and AppendJobs iterate in ID order
+	// without per-call collection and sorting.
+	ids []job.ID
+}
+
+// insertID adds id to the sorted ID mirror.
+func (m *Meter) insertID(id job.ID) {
+	i := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= id })
+	m.ids = append(m.ids, 0)
+	copy(m.ids[i+1:], m.ids[i:])
+	m.ids[i] = id
+}
+
+// removeID drops id from the sorted ID mirror.
+func (m *Meter) removeID(id job.ID) {
+	i := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= id })
+	if i < len(m.ids) && m.ids[i] == id {
+		m.ids = append(m.ids[:i], m.ids[i+1:]...)
+	}
 }
 
 // NewMeter builds a meter for a node with the given bandwidth capacity.
@@ -78,6 +99,7 @@ func (m *Meter) Register(id job.ID, demandGBs float64, cpuJob bool) error {
 		return fmt.Errorf("%w: %d", ErrDuplicateJob, id)
 	}
 	m.jobs[id] = usage{demand: demandGBs, cpuJob: cpuJob}
+	m.insertID(id)
 	return nil
 }
 
@@ -87,6 +109,7 @@ func (m *Meter) Deregister(id job.ID) error {
 		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
 	delete(m.jobs, id)
+	m.removeID(id)
 	return nil
 }
 
@@ -118,14 +141,8 @@ func (m *Meter) JobBandwidth(id job.ID) (float64, error) {
 // summed in ID order: float accumulation is order-sensitive, and the
 // simulator's determinism guarantee needs bit-identical totals.
 func (m *Meter) Total() float64 {
-	ids := make([]job.ID, 0, len(m.jobs))
-	//coda:ordered-ok collected IDs are fully ordered by the sort below
-	for id := range m.jobs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	total := 0.0
-	for _, id := range ids {
+	for _, id := range m.ids {
 		total += m.jobs[id].effective()
 	}
 	return total
@@ -162,9 +179,15 @@ type JobUsage struct {
 // Jobs returns all tracked jobs ordered by descending effective bandwidth
 // (ties broken by ID) — the order the eliminator throttles in.
 func (m *Meter) Jobs() []JobUsage {
-	out := make([]JobUsage, 0, len(m.jobs))
-	//coda:ordered-ok collected entries are fully ordered by the sort below
-	for id, u := range m.jobs {
+	return m.AppendJobs(nil)
+}
+
+// AppendJobs appends the tracked jobs to buf in the same order Jobs uses,
+// letting hot callers (the per-event invariant check) reuse a scratch slice.
+func (m *Meter) AppendJobs(buf []JobUsage) []JobUsage {
+	out := buf
+	for _, id := range m.ids {
+		u := m.jobs[id]
 		out = append(out, JobUsage{
 			ID:           id,
 			DemandGBs:    u.demand,
@@ -173,12 +196,15 @@ func (m *Meter) Jobs() []JobUsage {
 			CPUJob:       u.cpuJob,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
+	slices.SortFunc(out, func(a, b JobUsage) int {
 		//coda:ordered-ok comparator tie-break; both values come from the same deterministic computation
-		if out[i].EffectiveGBs != out[j].EffectiveGBs {
-			return out[i].EffectiveGBs > out[j].EffectiveGBs
+		if a.EffectiveGBs != b.EffectiveGBs {
+			if a.EffectiveGBs > b.EffectiveGBs {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		return int(a.ID) - int(b.ID)
 	})
 	return out
 }

@@ -30,6 +30,24 @@ func (s *Series) Add(t time.Duration, v float64) error {
 // Len returns the sample count.
 func (s *Series) Len() int { return len(s.values) }
 
+// Grow pre-allocates capacity for n additional samples so callers that
+// know their sample budget up front never reallocate mid-run.
+func (s *Series) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(s.times) - len(s.times); free < n {
+		times := make([]time.Duration, len(s.times), len(s.times)+n)
+		copy(times, s.times)
+		s.times = times
+	}
+	if free := cap(s.values) - len(s.values); free < n {
+		values := make([]float64, len(s.values), len(s.values)+n)
+		copy(values, s.values)
+		s.values = values
+	}
+}
+
 // At returns the i-th sample.
 func (s *Series) At(i int) (time.Duration, float64) { return s.times[i], s.values[i] }
 
@@ -123,6 +141,18 @@ func (c *CDF) Add(d time.Duration) {
 
 // Len returns the sample count.
 func (c *CDF) Len() int { return len(c.samples) }
+
+// Grow pre-allocates capacity for n additional samples (see Series.Grow).
+func (c *CDF) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(c.samples) - len(c.samples); free < n {
+		samples := make([]time.Duration, len(c.samples), len(c.samples)+n)
+		copy(samples, c.samples)
+		c.samples = samples
+	}
+}
 
 func (c *CDF) ensureSorted() {
 	if !c.sorted {

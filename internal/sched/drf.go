@@ -21,6 +21,15 @@ type DRF struct {
 	// ReserveDepth mirrors FIFO's backfill-style reservations: each
 	// blocked tenant's earliest unplaceable GPU job holds nodes.
 	ReserveDepth int
+
+	// Per-pass scratch reused across drains so a pass allocates nothing:
+	// reserved/failed mirror FIFO's, blocked marks tenants set aside this
+	// pass, and the two slices back pendingTenants and the candidate list.
+	reserved   ExcludeSet
+	failed     failedSet
+	blocked    map[job.TenantID]bool
+	tenants    []job.TenantID
+	candidates []job.TenantID
 }
 
 var _ Scheduler = (*DRF)(nil)
@@ -38,6 +47,7 @@ func NewDRF(totalCPU, totalGPU int) (*DRF, error) {
 		accountant:   acc,
 		queues:       make(map[job.TenantID]*list.List),
 		ReserveDepth: 0,
+		blocked:      make(map[job.TenantID]bool),
 	}, nil
 }
 
@@ -80,7 +90,7 @@ func (d *DRF) Tick() { d.drain() }
 // Go's randomized map order (same determinism contract as CODA's
 // multi-array pendingTenants).
 func (d *DRF) pendingTenants() []job.TenantID {
-	tenants := make([]job.TenantID, 0, len(d.queues))
+	tenants := d.tenants[:0]
 	//coda:ordered-ok collected tenant IDs are sorted before return
 	for t, q := range d.queues {
 		if q.Len() > 0 {
@@ -88,6 +98,7 @@ func (d *DRF) pendingTenants() []job.TenantID {
 		}
 	}
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
+	d.tenants = tenants
 	return tenants
 }
 
@@ -97,27 +108,30 @@ func (d *DRF) pendingTenants() []job.TenantID {
 // an unplaceable job does not block later arrivals of the same tenant
 // (§VI-C shows CPU jobs starting within seconds under both baselines).
 func (d *DRF) drain() {
-	blocked := make(map[job.TenantID]bool)
-	reserved := make(map[int]bool)
+	if d.blocked == nil {
+		d.blocked = make(map[job.TenantID]bool)
+	}
+	clear(d.blocked)
+	d.reserved.Reset()
 	reservations := 0
 	for {
-		var candidates []job.TenantID
+		d.candidates = d.candidates[:0]
 		for _, t := range d.pendingTenants() {
-			if !blocked[t] {
-				candidates = append(candidates, t)
+			if !d.blocked[t] {
+				d.candidates = append(d.candidates, t)
 			}
 		}
-		tenant, ok := d.accountant.PoorestTenant(candidates)
+		tenant, ok := d.accountant.PoorestTenant(d.candidates)
 		if !ok {
 			return
 		}
-		if !d.startFirstFitting(tenant, reserved) {
-			blocked[tenant] = true
+		if !d.startFirstFitting(tenant, &d.reserved) {
+			d.blocked[tenant] = true
 			// Backfill-style hold for the blocked tenant's earliest GPU job.
 			if reservations < d.ReserveDepth {
 				if head := d.firstGPUJob(tenant); head != nil {
-					for _, nid := range ReserveNodes(d.env.Cluster(), head.Request, reserved) {
-						reserved[nid] = true
+					for _, nid := range ReserveNodes(d.env.Cluster(), head.Request, &d.reserved) {
+						d.reserved.Add(nid)
 					}
 					reservations++
 				}
@@ -137,21 +151,21 @@ func (d *DRF) firstGPUJob(tenant job.TenantID) *job.Job {
 }
 
 // startFirstFitting starts tenant's earliest placeable job; false if none.
-func (d *DRF) startFirstFitting(tenant job.TenantID, reserved map[int]bool) bool {
+func (d *DRF) startFirstFitting(tenant job.TenantID, reserved *ExcludeSet) bool {
 	q := d.queues[tenant]
-	var failed failedSet
+	d.failed.reset()
 	for elem := q.Front(); elem != nil; elem = elem.Next() {
 		j, okJob := elem.Value.(*job.Job)
 		if !okJob {
 			q.Remove(elem)
 			return true // retry the tenant with a clean queue
 		}
-		if failed.covered(j.Request) {
+		if d.failed.covered(j.Request) {
 			continue
 		}
 		alloc, found := PlaceRequestExcluding(d.env.Cluster(), j.Request, false, reserved)
 		if !found {
-			failed.add(j.Request)
+			d.failed.add(j.Request)
 			continue
 		}
 		if err := d.env.StartJob(j.ID, alloc); err != nil {

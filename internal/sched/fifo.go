@@ -23,6 +23,11 @@ type FIFO struct {
 	// per pass, modeling SLURM backfill's future-slot holds: the held
 	// nodes' free resources sit idle — the fragmentation §VI-C measures.
 	ReserveDepth int
+
+	// reserved and failed are per-pass scratch reused across drains so a
+	// pass over a long queue allocates nothing.
+	reserved ExcludeSet
+	failed   failedSet
 }
 
 // DefaultReserveDepth mirrors a bounded backfill test depth.
@@ -62,8 +67,8 @@ func (f *FIFO) Tick() { f.drain() }
 // ReserveDepth) that later jobs must not touch, like SLURM's backfill
 // holding future slots for waiting jobs.
 func (f *FIFO) drain() {
-	reserved := make(map[int]bool)
-	var failed failedSet
+	f.reserved.Reset()
+	f.failed.reset()
 	reservations := 0
 	scanned := 0
 	for elem := f.queue.Front(); elem != nil; {
@@ -79,21 +84,21 @@ func (f *FIFO) drain() {
 			elem = next
 			continue
 		}
-		if failed.covered(j.Request) {
+		if f.failed.covered(j.Request) {
 			// A smaller request already failed this pass; placements only
 			// shrink within a pass, so this one cannot fit either.
 			elem = next
 			continue
 		}
-		if alloc, found := PlaceRequestExcluding(f.env.Cluster(), j.Request, false, reserved); found {
+		if alloc, found := PlaceRequestExcluding(f.env.Cluster(), j.Request, false, &f.reserved); found {
 			if err := f.env.StartJob(j.ID, alloc); err == nil {
 				f.queue.Remove(elem)
 			}
 		} else {
-			failed.add(j.Request)
+			f.failed.add(j.Request)
 			if j.IsGPU() && reservations < f.ReserveDepth {
-				for _, nid := range ReserveNodes(f.env.Cluster(), j.Request, reserved) {
-					reserved[nid] = true
+				for _, nid := range ReserveNodes(f.env.Cluster(), j.Request, &f.reserved) {
+					f.reserved.Add(nid)
 				}
 				reservations++
 			}

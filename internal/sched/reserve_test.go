@@ -7,15 +7,24 @@ import (
 	"github.com/coda-repro/coda/internal/job"
 )
 
+// exclude builds an ExcludeSet from node IDs (test helper).
+func exclude(ids ...int) *ExcludeSet {
+	var s ExcludeSet
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return &s
+}
+
 func TestPlaceRequestExcluding(t *testing.T) {
 	c := cluster.MustNew(smallCluster()) // 2 nodes, 8 cores, 2 GPUs each
 	req := job.Request{CPUCores: 2, GPUs: 1, Nodes: 1}
 
-	alloc, ok := PlaceRequestExcluding(c, req, false, map[int]bool{0: true})
+	alloc, ok := PlaceRequestExcluding(c, req, false, exclude(0))
 	if !ok || alloc.NodeIDs[0] != 1 {
 		t.Errorf("excluded node used: %+v, %v", alloc, ok)
 	}
-	if _, ok := PlaceRequestExcluding(c, req, false, map[int]bool{0: true, 1: true}); ok {
+	if _, ok := PlaceRequestExcluding(c, req, false, exclude(0, 1)); ok {
 		t.Error("all nodes excluded should fail")
 	}
 	// nil exclusion behaves like PlaceRequest.
@@ -49,7 +58,7 @@ func TestReserveNodes(t *testing.T) {
 		t.Errorf("ReserveNodes = %v, want [1]", nodes)
 	}
 	// Excluded nodes are skipped.
-	nodes = ReserveNodes(c, job.Request{CPUCores: 4, GPUs: 2, Nodes: 1}, map[int]bool{1: true})
+	nodes = ReserveNodes(c, job.Request{CPUCores: 4, GPUs: 2, Nodes: 1}, exclude(1))
 	if len(nodes) != 1 || nodes[0] != 0 {
 		t.Errorf("ReserveNodes = %v, want [0]", nodes)
 	}

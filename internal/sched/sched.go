@@ -74,32 +74,82 @@ func PlaceRequest(c *cluster.Cluster, req job.Request, bestFit bool) (job.Alloca
 	return PlaceRequestExcluding(c, req, bestFit, nil)
 }
 
-// PlaceRequestExcluding is PlaceRequest with a set of excluded node IDs
-// (nodes reserved for other queued jobs).
-func PlaceRequestExcluding(c *cluster.Cluster, req job.Request, bestFit bool, excluded map[int]bool) (job.Allocation, bool) {
-	gpus := req.GPUsPerNode()
-	var candidates []*cluster.Node
-	for _, n := range c.Nodes() {
-		if excluded[n.ID] || !n.Fits(req.CPUCores, gpus) {
-			continue
-		}
-		candidates = append(candidates, n)
+// ExcludeSet is a reusable sorted set of node IDs excluded from placement
+// (nodes reserved for other queued jobs). The zero value and nil are empty
+// sets; Reset keeps the backing array so a scheduler reuses one set across
+// passes without allocating.
+type ExcludeSet struct {
+	ids []int
+}
+
+// Reset empties the set, keeping its capacity for the next pass.
+func (s *ExcludeSet) Reset() { s.ids = s.ids[:0] }
+
+// Add inserts a node ID, keeping the set sorted; duplicates are ignored.
+func (s *ExcludeSet) Add(id int) {
+	i := sort.SearchInts(s.ids, id)
+	if i < len(s.ids) && s.ids[i] == id {
+		return
 	}
-	if len(candidates) < req.Nodes {
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
+}
+
+// Contains reports whether id is in the set; a nil set is empty.
+func (s *ExcludeSet) Contains(id int) bool {
+	if s == nil {
+		return false
+	}
+	i := sort.SearchInts(s.ids, id)
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// Len returns the number of excluded IDs; a nil set is empty.
+func (s *ExcludeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ids)
+}
+
+// IDs returns the sorted excluded IDs; callers must not mutate them.
+func (s *ExcludeSet) IDs() []int {
+	if s == nil {
+		return nil
+	}
+	return s.ids
+}
+
+// PlaceRequestExcluding is PlaceRequest with a set of excluded node IDs
+// (nodes reserved for other queued jobs). It answers through the cluster's
+// free-capacity index: a failed probe allocates nothing, and a successful
+// one allocates only the returned NodeIDs slice. Best-fit candidates come
+// from the index in packing order — the same order the old linear scan
+// produced by stable-sorting ID-ordered candidates on (FreeGPUs,
+// FreeCores) — so placement sequences are bit-identical to the
+// pre-index engine.
+func PlaceRequestExcluding(c *cluster.Cluster, req job.Request, bestFit bool, excluded *ExcludeSet) (job.Allocation, bool) {
+	c.NotePlacementQuery()
+	gpus := req.GPUsPerNode()
+	count := c.CountPlaceable(req.CPUCores, gpus)
+	for _, id := range excluded.IDs() {
+		if n, err := c.Node(id); err == nil && n.Fits(req.CPUCores, gpus) {
+			count--
+		}
+	}
+	if count < req.Nodes {
 		return job.Allocation{}, false
 	}
-	if bestFit {
-		sort.SliceStable(candidates, func(i, j int) bool {
-			a, b := candidates[i], candidates[j]
-			if a.FreeGPUs() != b.FreeGPUs() {
-				return a.FreeGPUs() < b.FreeGPUs()
-			}
-			return a.FreeCores() < b.FreeCores()
-		})
-	}
 	nodes := make([]int, 0, req.Nodes)
-	for _, n := range candidates[:req.Nodes] {
-		nodes = append(nodes, n.ID)
+	if req.Nodes > 0 {
+		c.ScanPlaceable(req.CPUCores, gpus, bestFit, func(n *cluster.Node) bool {
+			if excluded.Contains(n.ID) {
+				return true
+			}
+			nodes = append(nodes, n.ID)
+			return len(nodes) < req.Nodes
+		})
 	}
 	return job.Allocation{
 		NodeIDs:  nodes,
@@ -135,6 +185,9 @@ func (f *failedSet) covered(req job.Request) bool {
 	return false
 }
 
+// reset empties the set for a new pass, keeping its capacity.
+func (f *failedSet) reset() { f.entries = f.entries[:0] }
+
 // add records a failed request, keeping only minimal elements.
 func (f *failedSet) add(req job.Request) {
 	kept := f.entries[:0]
@@ -152,33 +205,35 @@ func (f *failedSet) add(req job.Request) {
 // most free GPUs (and enough total GPUs), so those are held idle until the
 // job starts. Already-excluded nodes are skipped. Returns nil when no node
 // is a sensible hold (e.g. the request exceeds every node's shape).
-func ReserveNodes(c *cluster.Cluster, req job.Request, excluded map[int]bool) []int {
-	type cand struct{ nid, freeGPUs, freeCores int }
-	var cands []cand
-	for _, n := range c.Nodes() {
-		if excluded[n.ID] {
-			continue
-		}
-		if n.GPUs < req.GPUsPerNode() || n.Cores < req.CPUCores {
-			continue // can never host the share
-		}
-		cands = append(cands, cand{nid: n.ID, freeGPUs: n.FreeGPUs(), freeCores: n.FreeCores()})
+func ReserveNodes(c *cluster.Cluster, req job.Request, excluded *ExcludeSet) []int {
+	c.NotePlacementQuery()
+	gpus := req.GPUsPerNode()
+	qualifies := func(n *cluster.Node) bool {
+		// The hold is about total node shape, not current occupancy: a
+		// node that can never host the share is no hold at all.
+		return !excluded.Contains(n.ID) && n.GPUs >= gpus && n.Cores >= req.CPUCores
 	}
-	if len(cands) < req.Nodes {
+	count := 0
+	c.EachNode(func(n *cluster.Node) bool {
+		if qualifies(n) {
+			count++
+		}
+		return true
+	})
+	if count < req.Nodes {
 		return nil
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].freeGPUs != cands[j].freeGPUs {
-			return cands[i].freeGPUs > cands[j].freeGPUs
-		}
-		if cands[i].freeCores != cands[j].freeCores {
-			return cands[i].freeCores > cands[j].freeCores
-		}
-		return cands[i].nid < cands[j].nid
-	})
+	// ScanFreeDesc yields (FreeGPUs desc, FreeCores desc, ID asc) — the
+	// exact order the old implementation sorted its candidates into.
 	nodes := make([]int, 0, req.Nodes)
-	for _, c := range cands[:req.Nodes] {
-		nodes = append(nodes, c.nid)
+	if req.Nodes > 0 {
+		c.ScanFreeDesc(func(n *cluster.Node) bool {
+			if !qualifies(n) {
+				return true
+			}
+			nodes = append(nodes, n.ID)
+			return len(nodes) < req.Nodes
+		})
 	}
 	return nodes
 }

@@ -19,6 +19,8 @@ type Static struct {
 	coresPerGPU  int
 	queue        *list.List // of *job.Job, arrival order
 	reserveDepth int
+	// failed is per-pass scratch reused across drains.
+	failed failedSet
 }
 
 var _ Scheduler = (*Static)(nil)
@@ -70,7 +72,7 @@ func (s *Static) effectiveRequest(j *job.Job) job.Request {
 
 // drain starts jobs first-fit in arrival order under the static split.
 func (s *Static) drain() {
-	var failed failedSet
+	s.failed.reset()
 	for elem := s.queue.Front(); elem != nil; {
 		next := elem.Next()
 		j, ok := elem.Value.(*job.Job)
@@ -80,7 +82,7 @@ func (s *Static) drain() {
 			continue
 		}
 		req := s.effectiveRequest(j)
-		if failed.covered(req) {
+		if s.failed.covered(req) {
 			elem = next
 			continue
 		}
@@ -89,7 +91,7 @@ func (s *Static) drain() {
 				s.queue.Remove(elem)
 			}
 		} else {
-			failed.add(req)
+			s.failed.add(req)
 		}
 		elem = next
 	}

@@ -145,7 +145,8 @@ func (s *Simulator) killJob(r *runningJob) {
 	clone := r.job.Clone()
 	clone.Work = r.job.Work
 	s.retrying[id] = clone
-	s.push(&event{
+	s.touchJob(id)
+	s.pushEvent(event{
 		at:    s.now + s.opts.Faults.Backoff(s.retries[id]),
 		kind:  evResubmit,
 		jobID: id,
@@ -161,6 +162,7 @@ func (s *Simulator) handleResubmit(id job.ID) {
 	}
 	delete(s.retrying, id)
 	s.pending[id] = j
+	s.touchJob(id)
 	s.results.Faults.Requeues++
 	s.results.noteRequeue(id)
 	s.scheduler.Submit(j)
@@ -186,7 +188,7 @@ func (s *Simulator) armJobFailure(r *runningJob) {
 	if delay < time.Millisecond {
 		delay = time.Millisecond
 	}
-	s.push(&event{at: s.now + delay, kind: evJobFail, jobID: r.job.ID, run: r})
+	s.pushEvent(event{at: s.now + delay, kind: evJobFail, jobID: r.job.ID, run: r})
 }
 
 // handleJobFailure delivers an injected failure if the pinned attempt is

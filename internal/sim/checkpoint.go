@@ -267,14 +267,16 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 	}
 
 	s := &Simulator{
-		opts:      opts,
-		cluster:   c,
-		monitor:   mon,
-		scheduler: scheduler,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
-		pending:   make(map[job.ID]*job.Job, len(ck.Pending)),
-		running:   make(map[job.ID]*runningJob, len(ck.Running)),
-		pcieLoad:  append([]float64(nil), ck.PcieLoad...),
+		opts:        opts,
+		cluster:     c,
+		monitor:     mon,
+		scheduler:   scheduler,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		pending:     make(map[job.ID]*job.Job, len(ck.Pending)),
+		running:     make(map[job.ID]*runningJob, len(ck.Running)),
+		pcieLoad:    append([]float64(nil), ck.PcieLoad...),
+		cpuCoresOn:  make([]int, nodes),
+		refreshSeen: make(map[job.ID]bool),
 
 		now:      ck.Now,
 		seq:      ck.Seq,
@@ -328,6 +330,13 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 			r.model = model
 		}
 		s.running[j.ID] = r
+		// cpuCoresOn is derived state: rebuild it from the restored
+		// allocations instead of serializing it.
+		if !j.IsGPU() {
+			for _, nid := range r.alloc.NodeIDs {
+				s.cpuCoresOn[nid] += r.alloc.CPUCores
+			}
+		}
 	}
 
 	if ck.ChaosOn {

@@ -110,6 +110,12 @@ func (s *Simulator) StartJob(id job.ID, alloc job.Allocation) error {
 
 	delete(s.pending, id)
 	s.running[id] = r
+	s.touchJob(id)
+	if !j.IsGPU() {
+		for _, nid := range alloc.NodeIDs {
+			s.cpuCoresOn[nid] += alloc.CPUCores
+		}
+	}
 	s.results.noteStart(j, s.now)
 
 	// New load may slow neighbours; refresh the whole neighbourhood
@@ -135,6 +141,12 @@ func (s *Simulator) ResizeJob(id job.ID, coresPerNode int) error {
 		return err
 	}
 	s.advance(r)
+	s.touchJob(id)
+	if !r.job.IsGPU() {
+		for _, nid := range r.alloc.NodeIDs {
+			s.cpuCoresOn[nid] += coresPerNode - r.alloc.CPUCores
+		}
+	}
 	r.alloc.CPUCores = coresPerNode
 
 	var newDemand float64
@@ -184,6 +196,7 @@ func (s *Simulator) PreemptJob(id job.ID) (*job.Job, error) {
 		clone.Work = time.Second // a preempted job always re-runs briefly
 	}
 	s.pending[id] = clone
+	s.touchJob(id)
 	s.results.notePreemption(id)
 	return clone, nil
 }

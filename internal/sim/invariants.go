@@ -2,9 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
-	"github.com/coda-repro/coda/internal/job"
+	"github.com/coda-repro/coda/internal/cluster"
 )
 
 // invariantChecker is implemented by schedulers that can validate their own
@@ -13,6 +13,113 @@ import (
 // per-event check when present.
 type invariantChecker interface {
 	CheckInvariants() error
+}
+
+// checkEventInvariants is the per-event gate behind Options.Invariants:
+// with InvariantsEvery unset it runs the full audit every time; with a
+// positive cadence it runs the O(Δ) delta check — only the nodes and jobs
+// the event's mutations journaled — and the full audit every N events.
+// The delta check proves exactly the invariants an event can break:
+// untouched nodes and jobs were audited when they last changed.
+func (s *Simulator) checkEventInvariants() error {
+	n := s.opts.InvariantsEvery
+	if n <= 0 {
+		return s.CheckInvariants()
+	}
+	s.eventsSinceAudit++
+	if s.eventsSinceAudit >= n {
+		s.eventsSinceAudit = 0
+		return s.CheckInvariants()
+	}
+	return s.checkInvariantsDelta()
+}
+
+// checkInvariantsDelta verifies the invariants on the nodes and jobs the
+// current event touched, plus the O(1) conservation identity. Anything the
+// event did not touch cannot have changed since its own last check.
+func (s *Simulator) checkInvariantsDelta() error {
+	for _, nid := range s.cluster.TouchedNodes() {
+		if err := s.cluster.CheckNodeInvariants(nid); err != nil {
+			return err
+		}
+		n, err := s.cluster.Node(nid)
+		if err != nil {
+			return err
+		}
+		meter, err := s.monitor.Node(nid)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", nid, err)
+		}
+		s.invUsages = meter.AppendJobs(s.invUsages[:0])
+		usages := s.invUsages
+		if len(usages) != n.JobCount() {
+			return fmt.Errorf("node %d: meter tracks %d jobs, node hosts %d", nid, len(usages), n.JobCount())
+		}
+		for _, u := range usages {
+			if _, _, ok := n.JobShare(u.ID); !ok {
+				return fmt.Errorf("node %d: meter tracks job %d which holds no share there", nid, u.ID)
+			}
+		}
+		s.invIDs = n.AppendJobs(s.invIDs[:0])
+		cpuCores := 0
+		for _, id := range s.invIDs {
+			r, ok := s.running[id]
+			if !ok {
+				return fmt.Errorf("node %d holds resources of job %d which is not running (leaked allocation)", nid, id)
+			}
+			if !r.job.IsGPU() {
+				if c, _, ok := n.JobShare(id); ok {
+					cpuCores += c
+				}
+			}
+		}
+		if cpuCores != s.cpuCoresOn[nid] {
+			return fmt.Errorf("node %d: cpu-core cache says %d, shares sum to %d", nid, s.cpuCoresOn[nid], cpuCores)
+		}
+		if s.pcieLoad[nid] < 0 {
+			return fmt.Errorf("node %d: negative pcie load %g", nid, s.pcieLoad[nid])
+		}
+	}
+
+	for _, id := range s.touchedJobs {
+		_, pend := s.pending[id]
+		r, run := s.running[id]
+		_, retry := s.retrying[id]
+		if pend && run {
+			return fmt.Errorf("job %d is pending and running simultaneously", id)
+		}
+		if retry && pend {
+			return fmt.Errorf("job %d is retrying and pending simultaneously", id)
+		}
+		if retry && run {
+			return fmt.Errorf("job %d is retrying and running simultaneously", id)
+		}
+		if run {
+			placed, ok := s.cluster.PlacementSize(id)
+			if !ok {
+				return fmt.Errorf("running job %d holds no cluster placement", id)
+			}
+			if placed != len(r.alloc.NodeIDs) {
+				return fmt.Errorf("running job %d placed on %d nodes, allocation names %d",
+					id, placed, len(r.alloc.NodeIDs))
+			}
+		}
+	}
+
+	return s.checkConservation()
+}
+
+// checkConservation is the O(1) job-conservation identity shared by the
+// delta and full checks.
+func (s *Simulator) checkConservation() error {
+	accounted := s.arrivalsLeft + len(s.pending) + len(s.running) + len(s.retrying) +
+		s.completedJobs + s.terminalJobs
+	if accounted != s.admitted {
+		return fmt.Errorf("job conservation broken: %d arrivals left + %d pending + %d running + %d retrying + %d completed + %d terminal = %d, admitted %d",
+			s.arrivalsLeft, len(s.pending), len(s.running), len(s.retrying),
+			s.completedJobs, s.terminalJobs, accounted, s.admitted)
+	}
+	return nil
 }
 
 // CheckInvariants validates the simulator's full accounting after an event:
@@ -58,43 +165,65 @@ func (s *Simulator) CheckInvariants() error {
 	}
 
 	// Placement consistency, in sorted ID order for deterministic reports.
-	ids := make([]job.ID, 0, len(s.running))
+	s.invIDs = s.invIDs[:0]
 	//coda:ordered-ok collected IDs are fully ordered by the sort below
 	for id := range s.running {
-		ids = append(ids, id)
+		s.invIDs = append(s.invIDs, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	slices.Sort(s.invIDs)
+	for _, id := range s.invIDs {
 		r := s.running[id]
-		placed, ok := s.cluster.Placement(id)
+		placed, ok := s.cluster.PlacementSize(id)
 		if !ok {
 			return fmt.Errorf("running job %d holds no cluster placement", id)
 		}
-		if len(placed) != len(r.alloc.NodeIDs) {
+		if placed != len(r.alloc.NodeIDs) {
 			return fmt.Errorf("running job %d placed on %d nodes, allocation names %d",
-				id, len(placed), len(r.alloc.NodeIDs))
+				id, placed, len(r.alloc.NodeIDs))
 		}
 	}
-	for _, n := range s.cluster.Nodes() {
-		for _, id := range n.Jobs() {
-			if _, ok := s.running[id]; !ok {
-				return fmt.Errorf("node %d holds resources of job %d which is not running (leaked allocation)", n.ID, id)
+	var nodeErr error
+	s.cluster.EachNode(func(n *cluster.Node) bool {
+		cpuCores := 0
+		s.invIDs = n.AppendJobs(s.invIDs[:0])
+		for _, id := range s.invIDs {
+			r, ok := s.running[id]
+			if !ok {
+				nodeErr = fmt.Errorf("node %d holds resources of job %d which is not running (leaked allocation)", n.ID, id)
+				return false
 			}
+			if !r.job.IsGPU() {
+				if c, _, ok := n.JobShare(id); ok {
+					cpuCores += c
+				}
+			}
+		}
+		if s.cpuCoresOn != nil && cpuCores != s.cpuCoresOn[n.ID] {
+			nodeErr = fmt.Errorf("node %d: cpu-core cache says %d, shares sum to %d", n.ID, s.cpuCoresOn[n.ID], cpuCores)
+			return false
 		}
 		// Bandwidth accounting identity: meter registrations == occupancy.
 		meter, err := s.monitor.Node(n.ID)
 		if err != nil {
-			return fmt.Errorf("node %d: %w", n.ID, err)
+			nodeErr = fmt.Errorf("node %d: %w", n.ID, err)
+			return false
 		}
-		usages := meter.Jobs()
+		s.invUsages = meter.AppendJobs(s.invUsages[:0])
+		usages := s.invUsages
 		if len(usages) != n.JobCount() {
-			return fmt.Errorf("node %d: meter tracks %d jobs, node hosts %d", n.ID, len(usages), n.JobCount())
+			nodeErr = fmt.Errorf("node %d: meter tracks %d jobs, node hosts %d", n.ID, len(usages), n.JobCount())
+			return false
 		}
 		for _, u := range usages {
 			if _, _, ok := n.JobShare(u.ID); !ok {
-				return fmt.Errorf("node %d: meter tracks job %d which holds no share there", n.ID, u.ID)
+				nodeErr = fmt.Errorf("node %d: meter tracks job %d which holds no share there", n.ID, u.ID)
+				return false
 			}
 		}
+		return true
+	})
+	if nodeErr != nil {
+		return nodeErr
 	}
 
 	for nid, load := range s.pcieLoad {
@@ -104,12 +233,8 @@ func (s *Simulator) CheckInvariants() error {
 	}
 
 	// Conservation: no admitted job is ever lost.
-	accounted := s.arrivalsLeft + len(s.pending) + len(s.running) + len(s.retrying) +
-		s.completedJobs + s.terminalJobs
-	if accounted != s.admitted {
-		return fmt.Errorf("job conservation broken: %d arrivals left + %d pending + %d running + %d retrying + %d completed + %d terminal = %d, admitted %d",
-			s.arrivalsLeft, len(s.pending), len(s.running), len(s.retrying),
-			s.completedJobs, s.terminalJobs, accounted, s.admitted)
+	if err := s.checkConservation(); err != nil {
+		return err
 	}
 
 	if ic, ok := s.scheduler.(invariantChecker); ok {

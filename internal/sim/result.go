@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"sort"
+	"slices"
 	"time"
 
+	"github.com/coda-repro/coda/internal/cluster"
 	"github.com/coda-repro/coda/internal/job"
 	"github.com/coda-repro/coda/internal/metrics"
 )
@@ -91,6 +92,13 @@ type Result struct {
 	// Faults aggregates chaos activity: crashes, dropouts, kills, requeues,
 	// terminal failures and goodput lost. All-zero for fault-free runs.
 	Faults metrics.FaultCounters
+
+	// Events counts processed simulator events and PlacementQueries counts
+	// cluster placement scans — throughput counters for the benchmark
+	// harness. Both are excluded from DumpResult: golden comparisons pin
+	// the physics, not the engine's work accounting.
+	Events           int64
+	PlacementQueries int64
 }
 
 func newResult(scheduler string) *Result {
@@ -99,6 +107,18 @@ func newResult(scheduler string) *Result {
 		PerTenant: metrics.NewPerKeyCDF(),
 		Jobs:      make(map[job.ID]*JobStats),
 	}
+}
+
+// growSeries pre-allocates every sampled series for n samples.
+func (r *Result) growSeries(n int) {
+	r.GPUActive.Grow(n)
+	r.GPUUtilSeries.Grow(n)
+	r.CPUActive.Grow(n)
+	r.CPUUtilSeries.Grow(n)
+	r.FragSeries.Grow(n)
+	r.QueuedGPU.Grow(n)
+	r.QueuedCPU.Grow(n)
+	r.QueuedGPUDemand.Grow(n)
 }
 
 func (r *Result) noteArrival(j *job.Job) {
@@ -200,12 +220,13 @@ func (s *Simulator) sample() {
 	// Per-active-GPU utilization and per-active-core busy fraction.
 	// Iterate jobs in ID order: float accumulation is order-sensitive and
 	// samples must reproduce bit-for-bit across runs.
-	ids := make([]job.ID, 0, len(s.running))
+	ids := s.sampleIDs[:0]
 	//coda:ordered-ok collected IDs are fully ordered by the sort below
 	for id := range s.running {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	s.sampleIDs = ids
 	gpuUtilSum, gpuWeight := 0.0, 0.0
 	cpuUtilSum, cpuWeight := 0.0, 0.0
 	for _, id := range ids {
@@ -286,8 +307,12 @@ func (s *Simulator) sample() {
 // (§VI-C). Zero when no GPU job waits.
 func (s *Simulator) fragRate() float64 {
 	// minCores[g] = the smallest per-node core request among pending GPU
-	// jobs wanting g GPUs per node.
-	minCores := make(map[int]int, 4)
+	// jobs wanting g GPUs per node. Reused across samples.
+	if s.fragMinCores == nil {
+		s.fragMinCores = make(map[int]int, 4)
+	}
+	minCores := s.fragMinCores
+	clear(minCores)
 	//coda:ordered-ok min-update per key; the final map is independent of visit order
 	for _, j := range s.pending {
 		if !j.IsGPU() {
@@ -302,12 +327,13 @@ func (s *Simulator) fragRate() float64 {
 		return 0
 	}
 	frag := 0
-	for _, n := range s.cluster.Nodes() {
+	s.cluster.EachNode(func(n *cluster.Node) bool {
 		freeG := n.FreeGPUs()
 		if freeG == 0 {
-			continue
+			return true
 		}
 		servable := false
+		//coda:ordered-ok any-match probe; the outcome is independent of visit order
 		for g, cores := range minCores {
 			if g <= freeG && cores <= n.FreeCores() {
 				servable = true
@@ -317,12 +343,14 @@ func (s *Simulator) fragRate() float64 {
 		if !servable {
 			frag += freeG
 		}
-	}
+		return true
+	})
 	return float64(frag) / float64(s.cluster.TotalGPUs())
 }
 
 func (s *Simulator) finalize() {
 	s.results.EndTime = s.now
+	s.results.PlacementQueries = s.cluster.PlacementQueries()
 }
 
 // WindowMean averages a series over samples taken at or before cutoff.

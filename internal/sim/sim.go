@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"github.com/coda-repro/coda/internal/chaos"
@@ -51,6 +52,13 @@ type Options struct {
 	// violation. Tests enable it everywhere; cmd/coda-sim exposes it as
 	// the -invariants flag.
 	Invariants bool
+	// InvariantsEvery is the full-audit cadence when Invariants is on: a
+	// positive N runs the O(Δ) delta check — only the nodes and jobs the
+	// event touched — after every event and the full audit every N events.
+	// 0 runs the full audit after every event (tests use that everywhere;
+	// the delta path is for month-scale runs that still want checking).
+	// Ignored while Invariants is off.
+	InvariantsEvery int
 
 	// CheckpointEvery takes a crash-consistent checkpoint each time virtual
 	// time advances past another multiple of this cadence; 0 disables
@@ -98,6 +106,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxVirtualTime < 0 {
 		return fmt.Errorf("sim options: negative max virtual time %v", o.MaxVirtualTime)
+	}
+	if o.InvariantsEvery < 0 {
+		return fmt.Errorf("sim options: negative invariant audit cadence %d", o.InvariantsEvery)
 	}
 	if o.CheckpointEvery < 0 {
 		return fmt.Errorf("sim options: negative checkpoint cadence %v", o.CheckpointEvery)
@@ -286,6 +297,28 @@ type Simulator struct {
 	nextCheckpointAt      time.Duration
 	eventsSinceCheckpoint int
 
+	// freeEvents is a deterministic free-list of recycled heap events: the
+	// event loop allocates an *event only when the list is empty. (A
+	// sync.Pool would tie recycling to the runtime scheduler and GC — this
+	// stays bit-identical run to run.)
+	freeEvents []*event
+	// cpuCoresOn[nid] is the per-node sum of CPU-job cores, maintained
+	// incrementally so the contention hot path never walks node job maps.
+	cpuCoresOn []int
+	// Reusable scratch: refreshSeen/refreshIDs back refreshNodes,
+	// sampleIDs backs sample, fragMinCores backs fragRate, invIDs backs
+	// the invariant checkers, touchedJobs journals the job IDs events
+	// touched for the delta invariant check.
+	refreshSeen  map[job.ID]bool
+	refreshIDs   []job.ID
+	sampleIDs    []job.ID
+	fragMinCores map[int]int
+	invIDs       []job.ID
+	invUsages    []membw.JobUsage
+	touchedJobs  []job.ID
+	// eventsSinceAudit counts events since the last full invariant audit.
+	eventsSinceAudit int
+
 	results *Result
 }
 
@@ -310,28 +343,44 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 	// run's schedule.
 	opts = opts.Clone()
 	s := &Simulator{
-		opts:      opts,
-		cluster:   c,
-		monitor:   mon,
-		scheduler: scheduler,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
-		pending:   make(map[job.ID]*job.Job),
-		running:   make(map[job.ID]*runningJob),
-		pcieLoad:  make([]float64, opts.Cluster.TotalNodes()),
-		results:   newResult(scheduler.Name()),
+		opts:        opts,
+		cluster:     c,
+		monitor:     mon,
+		scheduler:   scheduler,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		pending:     make(map[job.ID]*job.Job),
+		running:     make(map[job.ID]*runningJob),
+		pcieLoad:    make([]float64, opts.Cluster.TotalNodes()),
+		cpuCoresOn:  make([]int, opts.Cluster.TotalNodes()),
+		refreshSeen: make(map[job.ID]bool),
+		results:     newResult(scheduler.Name()),
 	}
 	if opts.CheckpointEvery > 0 {
 		s.nextCheckpointAt = opts.CheckpointEvery
 	}
+	gpuJobs, cpuJobs := 0, 0
 	for _, j := range jobs {
 		if err := j.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
-		s.push(&event{at: j.Arrival, kind: evArrival, job: j})
+		s.pushEvent(event{at: j.Arrival, kind: evArrival, job: j})
 		if j.Arrival > s.lastArrival {
 			s.lastArrival = j.Arrival
 		}
 		s.arrivalsLeft++
+		if j.IsGPU() {
+			gpuJobs++
+		} else {
+			cpuJobs++
+		}
+	}
+	// Pre-size the trace-proportional metric storage so month-scale runs
+	// never grow it mid-flight.
+	s.results.GPUQueue.Grow(gpuJobs)
+	s.results.CPUQueue.Grow(cpuJobs)
+	if opts.MaxVirtualTime > 0 && opts.SampleInterval > 0 {
+		samples := int(opts.MaxVirtualTime/opts.SampleInterval) + 2
+		s.results.growSeries(samples)
 	}
 	s.admitted = s.arrivalsLeft
 	if !opts.Faults.Empty() {
@@ -347,7 +396,7 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 		s.retrying = make(map[job.ID]*job.Job)
 		s.failedOnce = make(map[job.ID]bool)
 		for _, f := range faults {
-			s.push(&event{at: f.At, kind: evFault, fault: f})
+			s.pushEvent(event{at: f.At, kind: evFault, fault: f})
 			s.faultsLeft++
 		}
 	}
@@ -360,6 +409,29 @@ func (s *Simulator) push(e *event) {
 	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.events, e)
+}
+
+// pushEvent queues ev, reusing a recycled heap entry when one is free so
+// the steady-state event loop allocates nothing per event.
+func (s *Simulator) pushEvent(ev event) {
+	var e *event
+	if n := len(s.freeEvents); n > 0 {
+		e = s.freeEvents[n-1]
+		s.freeEvents[n-1] = nil
+		s.freeEvents = s.freeEvents[:n-1]
+	} else {
+		e = new(event)
+	}
+	*e = ev
+	s.push(e)
+}
+
+// recycleEvent returns a dispatched event to the free list. Only events
+// popped from the heap may be recycled, and never while any reference to
+// them is still live.
+func (s *Simulator) recycleEvent(e *event) {
+	*e = event{}
+	s.freeEvents = append(s.freeEvents, e)
 }
 
 // idle reports whether nothing remains to simulate.
@@ -403,9 +475,9 @@ func (s *Simulator) Run() (*Result, error) {
 		// A resumed run carries its tick/sample events inside the restored
 		// heap; re-pushing them would double the cadence streams.
 		if s.opts.TickInterval > 0 {
-			s.push(&event{at: s.opts.TickInterval, kind: evTick})
+			s.pushEvent(event{at: s.opts.TickInterval, kind: evTick})
 		}
-		s.push(&event{at: 0, kind: evSample})
+		s.pushEvent(event{at: 0, kind: evSample})
 	}
 
 	for steps := 0; s.events.Len() > 0; steps++ {
@@ -420,6 +492,7 @@ func (s *Simulator) Run() (*Result, error) {
 			break
 		}
 		s.now = e.at
+		s.results.Events++
 
 		switch e.kind {
 		case evArrival:
@@ -436,12 +509,12 @@ func (s *Simulator) Run() (*Result, error) {
 				return s.results, nil
 			}
 			if !s.idle() {
-				s.push(&event{at: s.now + s.opts.TickInterval, kind: evTick})
+				s.pushEvent(event{at: s.now + s.opts.TickInterval, kind: evTick})
 			}
 		case evSample:
 			s.sample()
 			if !s.idle() {
-				s.push(&event{at: s.now + s.opts.SampleInterval, kind: evSample})
+				s.pushEvent(event{at: s.now + s.opts.SampleInterval, kind: evSample})
 			}
 		case evFault:
 			s.faultsLeft--
@@ -452,10 +525,15 @@ func (s *Simulator) Run() (*Result, error) {
 			s.handleJobFailure(e.jobID, e.run)
 		}
 		if s.opts.Invariants {
-			if err := s.CheckInvariants(); err != nil {
+			if err := s.checkEventInvariants(); err != nil {
 				return nil, fmt.Errorf("sim: invariant violated after %v event at t=%v: %w", e.kind, s.now, err)
 			}
 		}
+		// The touched journals only matter to the delta checker above;
+		// resetting them unconditionally keeps them from growing when
+		// checking is off.
+		s.cluster.ResetTouched()
+		s.touchedJobs = s.touchedJobs[:0]
 		if s.killed {
 			// Died mid-run: no finalize, no results. State up to the latest
 			// checkpoint survives; everything after it is lost, exactly like
@@ -465,6 +543,7 @@ func (s *Simulator) Run() (*Result, error) {
 		if err := s.maybeCheckpoint(); err != nil {
 			return nil, fmt.Errorf("sim: checkpoint at t=%v: %w", s.now, err)
 		}
+		s.recycleEvent(e)
 		if s.idle() {
 			break
 		}
@@ -476,9 +555,14 @@ func (s *Simulator) Run() (*Result, error) {
 func (s *Simulator) handleArrival(j *job.Job) {
 	s.arrivalsLeft--
 	s.pending[j.ID] = j
+	s.touchJob(j.ID)
 	s.results.noteArrival(j)
 	s.scheduler.Submit(j)
 }
+
+// touchJob journals a job whose lifecycle state the current event changed;
+// the delta invariant checker audits exactly these.
+func (s *Simulator) touchJob(id job.ID) { s.touchedJobs = append(s.touchedJobs, id) }
 
 func (s *Simulator) handleCompletion(id job.ID, version int64) {
 	r, ok := s.running[id]
@@ -502,6 +586,12 @@ func (s *Simulator) stopJob(r *runningJob) {
 	id := r.job.ID
 	if err := s.cluster.Release(id); err != nil {
 		panic(fmt.Sprintf("sim: release job %d: %v", id, err))
+	}
+	s.touchJob(id)
+	if !r.job.IsGPU() {
+		for _, nid := range r.alloc.NodeIDs {
+			s.cpuCoresOn[nid] -= r.alloc.CPUCores
+		}
 	}
 	for _, nid := range r.alloc.NodeIDs {
 		meter, err := s.monitor.Node(nid)
@@ -540,7 +630,7 @@ func (s *Simulator) advance(r *runningJob) {
 func (s *Simulator) scheduleCompletion(r *runningJob) {
 	r.version++
 	eta := time.Duration(float64(r.remaining) / r.speed)
-	s.push(&event{
+	s.pushEvent(event{
 		at:      s.now + eta,
 		kind:    evCompletion,
 		jobID:   r.job.ID,
@@ -562,17 +652,11 @@ func (s *Simulator) contentionAt(nodeID int) perfmodel.Contention {
 		}
 		// CPU jobs occupy last-level cache roughly in proportion to the
 		// cores they run on. Fig. 7 shows every model shrugging this off;
-		// modeling it keeps that claim testable end to end.
-		cpuCores := 0
-		for _, id := range n.Jobs() {
-			if r, ok := s.running[id]; ok && !r.job.IsGPU() {
-				if c, _, ok := n.JobShare(id); ok {
-					cpuCores += c
-				}
-			}
-		}
+		// modeling it keeps that claim testable end to end. cpuCoresOn is
+		// maintained incrementally by StartJob/ResizeJob/stopJob so this
+		// hot path never walks the node's job map.
 		if n.Cores > 0 {
-			llc = float64(cpuCores) / float64(n.Cores)
+			llc = float64(s.cpuCoresOn[nodeID]) / float64(n.Cores)
 		}
 	}
 	return perfmodel.Contention{
@@ -665,17 +749,22 @@ func (s *Simulator) baseSpeed(r *runningJob) float64 {
 // refreshNodes re-evaluates the speed of every job touching the nodes and
 // reschedules their completions when the speed changed.
 func (s *Simulator) refreshNodes(nodeIDs []int) {
-	seen := make(map[job.ID]bool)
+	clear(s.refreshSeen)
 	for _, nid := range nodeIDs {
 		n, err := s.cluster.Node(nid)
 		if err != nil {
 			continue
 		}
-		for _, id := range n.Jobs() {
-			if seen[id] {
+		// Collect into reusable scratch and sort: the per-node visit order
+		// must stay identical to the Jobs() order this loop used to walk,
+		// because scheduleCompletion hands out heap sequence numbers.
+		s.refreshIDs = n.AppendJobs(s.refreshIDs[:0])
+		slices.Sort(s.refreshIDs)
+		for _, id := range s.refreshIDs {
+			if s.refreshSeen[id] {
 				continue
 			}
-			seen[id] = true
+			s.refreshSeen[id] = true
 			r, ok := s.running[id]
 			if !ok {
 				continue
