@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,15 @@ import (
 func runLint(t *testing.T, args []string, dir string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errw bytes.Buffer
-	code = run(args, dir, &out, &errw)
+	code = run(args, dir, false, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// runLintJSON invokes the command body in -json mode.
+func runLintJSON(t *testing.T, args []string, dir string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, dir, true, &out, &errw)
 	return code, out.String(), errw.String()
 }
 
@@ -118,5 +127,58 @@ func Add(a, b int) int { return a + b }
 	}
 	if code, _, _ := runLint(t, []string{"./internal/dirty/..."}, tmp); code != 1 {
 		t.Errorf("dirty subtree exit = %d, want 1", code)
+	}
+}
+
+// TestJSONOutput: -json renders the findings as a parseable array with
+// module-relative paths, keeps the exit-1 contract, and keeps stdout pure
+// JSON (the human summary stays on stderr).
+func TestJSONOutput(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module example.com/tmplint\n\ngo 1.21\n",
+		"internal/dirty/dirty.go": `package dirty
+
+// Eq compares floats for exact equality.
+func Eq(a, b float64) bool { return a == b }
+`,
+	})
+	code, stdout, stderr := runLintJSON(t, nil, tmp)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	var got []struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Rule string `json:"rule"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(got) != 1 || got[0].Rule != "float-eq" || got[0].File != "internal/dirty/dirty.go" {
+		t.Fatalf("unexpected JSON findings: %+v", got)
+	}
+	if strings.Contains(stdout, "finding(s)") {
+		t.Error("summary leaked into JSON stdout")
+	}
+}
+
+// TestJSONCleanRunIsEmptyArray: a clean module serializes as [] with exit 0.
+func TestJSONCleanRunIsEmptyArray(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module example.com/tmplint\n\ngo 1.21\n",
+		"internal/clean/clean.go": `package clean
+
+// Add is trivially clean.
+func Add(a, b int) int { return a + b }
+`,
+	})
+	code, stdout, _ := runLintJSON(t, nil, tmp)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("clean run must print [], got %q", stdout)
 	}
 }

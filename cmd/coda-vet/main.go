@@ -1,17 +1,19 @@
-// Command coda-lint runs the repository's determinism and concurrency
-// static analysis over internal/... and cmd/... and reports violations as
-// "file:line: rule: message" lines, or as a JSON array with -json.
+// Command coda-vet runs the whole-program determinism proofs over the
+// enclosing module: transitive purity of everything reachable from the
+// engine (with witness call chains), the declarative import-layering DAG,
+// and checkpoint encode/decode completeness.
 //
 // Usage:
 //
-//	go run ./cmd/coda-lint ./...
-//	go run ./cmd/coda-lint -json ./internal/core ./internal/sched
+//	go run ./cmd/coda-vet ./...
+//	go run ./cmd/coda-vet -json ./internal/sim
 //
-// Exit codes: 0 when the tree is clean, 1 when findings survive, 2 when the
+// Exit codes: 0 when every proof holds, 1 when findings survive, 2 when the
 // run itself fails (no module root, unreadable source, bad arguments).
 //
-// The rule set and the //coda:ordered-ok escape hatch are documented in
-// DESIGN.md ("Determinism invariants") and internal/lint.
+// Unlike coda-lint, vet findings carry no //coda:ordered-ok escape hatch:
+// the fixes are structural, or a reviewed change to the spec in
+// internal/lint/vet.go. See DESIGN.md "Static analysis & layering".
 package main
 
 import (
@@ -28,53 +30,50 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (stable order, module-relative paths)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: coda-lint [-json] [./... | package-dirs]\n\n"+
-				"Runs the CODA determinism rules (%s)\nover internal/... and cmd/... of the enclosing module.\n",
-			strings.Join([]string{
-				lint.RuleOrderedMap, lint.RuleWallClock, lint.RuleGoroutines,
-				lint.RuleFloatEq, lint.RuleUncheckedErr,
-			}, ", "))
+			"usage: coda-vet [-json] [./... | package-dirs]\n\n"+
+				"Runs the CODA whole-program passes (%s)\nover internal/... and cmd/... of the enclosing module.\n",
+			strings.Join([]string{lint.RulePurity, lint.RuleLayering, lint.RuleCkptComplete}, ", "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "coda-lint:", err)
+		fmt.Fprintln(os.Stderr, "coda-vet:", err)
 		os.Exit(2)
 	}
 	os.Exit(run(flag.Args(), cwd, *jsonOut, os.Stdout, os.Stderr))
 }
 
-// run is the testable body of the command: lint the module enclosing dir,
+// run is the testable body of the command: vet the module enclosing dir,
 // restricted to the argument patterns, writing findings to stdout and
 // diagnostics to stderr. Returns the process exit code — 0 clean, 1 with
 // findings, 2 on operational errors.
 func run(args []string, dir string, jsonOut bool, stdout, stderr io.Writer) int {
 	root, err := lint.FindModuleRoot(dir)
 	if err != nil {
-		fmt.Fprintln(stderr, "coda-lint:", err)
+		fmt.Fprintln(stderr, "coda-vet:", err)
 		return 2
 	}
-	findings, err := lint.LintTrees(root, []string{"internal", "cmd"}, lint.DefaultConfig())
+	findings, err := lint.VetTrees(root, []string{"internal", "cmd"}, lint.DefaultVetConfig())
 	if err != nil {
-		fmt.Fprintln(stderr, "coda-lint:", err)
+		fmt.Fprintln(stderr, "coda-vet:", err)
 		return 2
 	}
 	findings, err = lint.FilterToDirs(findings, args, dir)
 	if err != nil {
-		fmt.Fprintln(stderr, "coda-lint:", err)
+		fmt.Fprintln(stderr, "coda-vet:", err)
 		return 2
 	}
 
 	if jsonOut {
 		data, err := lint.MarshalFindings(findings, root)
 		if err != nil {
-			fmt.Fprintln(stderr, "coda-lint:", err)
+			fmt.Fprintln(stderr, "coda-vet:", err)
 			return 2
 		}
 		if _, err := stdout.Write(data); err != nil {
-			fmt.Fprintln(stderr, "coda-lint:", err)
+			fmt.Fprintln(stderr, "coda-vet:", err)
 			return 2
 		}
 	} else {
@@ -83,7 +82,7 @@ func run(args []string, dir string, jsonOut bool, stdout, stderr io.Writer) int 
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "coda-lint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "coda-vet: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

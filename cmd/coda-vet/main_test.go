@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runVet invokes the command body and captures its streams.
+func runVet(t *testing.T, args []string, dir string, jsonOut bool) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, dir, jsonOut, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// writeTree materializes path->content files under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for path, content := range files {
+		full := filepath.Join(root, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExitZeroOnCleanTree: vetting this repository itself must be clean —
+// the whole-program proofs are self-enforced — and a clean run exits 0 with
+// no findings printed.
+func TestExitZeroOnCleanTree(t *testing.T) {
+	code, stdout, stderr := runVet(t, []string{"./..."}, ".", false)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+// dirtyModule is a minimal module violating the default layer spec: a
+// package named internal/sim (the engine layer) importing os, which the
+// engine deny-list forbids, and reading the wall clock through a helper it
+// is allowed to import — so both the layering and the purity pass fire.
+var dirtyModule = map[string]string{
+	"go.mod": "module example.com/tmpvet\n\ngo 1.21\n",
+	"internal/sim/sim.go": `package sim
+
+import (
+	"os"
+	"time"
+)
+
+// Run leaks the host into the engine twice over.
+func Run() int { return len(os.Args) + tick() }
+
+func tick() int { return int(time.Now().UnixNano()) }
+`,
+	"internal/job/job.go": `package job
+
+// N keeps the base layer non-empty.
+func N() int { return 1 }
+`,
+}
+
+// TestExitOneOnFindings: a module with whole-program violations exits 1,
+// reports them as file:line: rule: message, and the purity finding embeds
+// the witness chain.
+func TestExitOneOnFindings(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, dirtyModule)
+	code, stdout, stderr := runVet(t, nil, tmp, false)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "import-layering") {
+		t.Errorf("missing layering finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "transitive-purity") || !strings.Contains(stdout, "reached via") {
+		t.Errorf("missing purity finding with witness chain:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing summary: %q", stderr)
+	}
+}
+
+// TestJSONOutput: -json renders a parseable array with module-relative paths
+// and the purity chain serialized, with stdout kept pure JSON.
+func TestJSONOutput(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, dirtyModule)
+	code, stdout, _ := runVet(t, nil, tmp, true)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var got []struct {
+		File  string   `json:"file"`
+		Line  int      `json:"line"`
+		Rule  string   `json:"rule"`
+		Chain []string `json:"chain"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	var sawChain bool
+	for _, f := range got {
+		if f.File != "internal/sim/sim.go" {
+			t.Errorf("path not module-relative: %q", f.File)
+		}
+		if f.Rule == "transitive-purity" && len(f.Chain) > 0 {
+			sawChain = true
+		}
+	}
+	if !sawChain {
+		t.Error("no purity finding carried a witness chain in JSON")
+	}
+}
+
+// TestArgumentFilterScopesFindings: naming a clean subtree hides the dirty
+// one's findings; a bad path is an operational error, not a clean run.
+func TestArgumentFilterScopesFindings(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, dirtyModule)
+	if code, stdout, stderr := runVet(t, []string{"./internal/job"}, tmp, false); code != 0 {
+		t.Errorf("clean subtree exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if code, _, _ := runVet(t, []string{"./internal/sim/..."}, tmp, false); code != 1 {
+		t.Errorf("dirty subtree exit = %d, want 1", code)
+	}
+	if code, _, stderr := runVet(t, []string{"./no-such-dir"}, tmp, false); code != 2 {
+		t.Errorf("bad path exit = %d, want 2; stderr: %s", code, stderr)
+	}
+}
+
+// TestExitTwoOutsideModule: running outside any Go module is an operational
+// error.
+func TestExitTwoOutsideModule(t *testing.T) {
+	code, _, stderr := runVet(t, nil, t.TempDir(), false)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+	}
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds the module-wide call graph the transitive-purity pass
+// walks. Nodes are function and method declarations; edges are conservative
+// "may call or may hold a reference to" relations:
+//
+//   - a direct call adds an edge to the callee;
+//   - a method value or function value (f := x.M; handlers[k] = fn; a
+//     function-typed struct field assignment) adds an edge at the point the
+//     reference is taken, so a function stored now and invoked later through
+//     a func-typed field is still reachable from whoever stored it;
+//   - a call through an interface declared in this module adds an edge to
+//     the matching method of every module type implementing the interface
+//     (conservative over all implementations).
+//
+// Calls through interfaces declared outside the module (io.Writer, error,
+// sort.Interface...) are not expanded: the engine passes only module or
+// stdlib values through them, and expanding fmt.Stringer/error over every
+// module type would drown the graph in phantom edges. The import-layering
+// pass independently guarantees the engine cannot even import the packages
+// whose behavior such an expansion would need to track.
+
+// graphNode is one declared function or method in the call graph.
+type graphNode struct {
+	fn   *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+
+	// edges are outgoing may-call edges in first-occurrence source order
+	// (the graph walk must be deterministic for stable witness chains).
+	edges []graphEdge
+	// sinks are the impurity sites found directly inside this function.
+	sinks []puritySink
+}
+
+// graphEdge is one may-call edge.
+type graphEdge struct {
+	to  *types.Func
+	pos token.Position
+	// via notes interface dispatch: the interface method the edge came
+	// through, "" for static calls and references.
+	via string
+}
+
+// puritySink is one direct impurity inside a function body.
+type puritySink struct {
+	pos  token.Position
+	desc string
+}
+
+// callGraph is the whole-module graph plus the index needed to walk it.
+type callGraph struct {
+	m *Module
+	// order lists nodes deterministically: package load order, then file
+	// order, then declaration order.
+	order []*graphNode
+	byFn  map[*types.Func]*graphNode
+}
+
+// funcDisplayName renders fn for witness chains: "internal/sim.(*Simulator).Run"
+// or "internal/fair.NewAccountant".
+func (g *callGraph) funcDisplayName(fn *types.Func) string {
+	node := g.byFn[fn]
+	pkgPath := fn.Pkg().Path()
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, g.m.Path), "/")
+	if rel == "" {
+		rel = pkgPath
+	}
+	if node != nil && node.decl.Recv != nil {
+		sig := fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			return fmt.Sprintf("%s.(%s).%s", rel, types.TypeString(recv.Type(), func(p *types.Package) string { return "" }), fn.Name())
+		}
+	}
+	return rel + "." + fn.Name()
+}
+
+// buildCallGraph constructs the graph over every package not matched by the
+// exempt scope. sinkScan, when non-nil, is invoked on every AST node of each
+// function body and may record impurity sinks on the node.
+func buildCallGraph(m *Module, exempt []string, cfg VetConfig) *callGraph {
+	g := &callGraph{m: m, byFn: make(map[*types.Func]*graphNode)}
+
+	// First pass: register every declared function in a non-exempt package.
+	for _, pkg := range m.Packages {
+		if matchScope(exempt, pkg.RelPath) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &graphNode{fn: fn, pkg: pkg, decl: fd}
+				g.order = append(g.order, node)
+				g.byFn[fn] = node
+			}
+		}
+	}
+
+	impls := buildImplIndex(m, g)
+
+	// Second pass: edges and sinks.
+	for _, node := range g.order {
+		g.scanBody(node, impls, cfg)
+	}
+	return g
+}
+
+// scanBody records node's outgoing edges and direct sinks.
+func (g *callGraph) scanBody(node *graphNode, impls *implIndex, cfg VetConfig) {
+	info := node.pkg.Info
+	seen := make(map[*types.Func]bool)
+	addEdge := func(to *types.Func, pos token.Pos, via string) {
+		if to == nil || seen[to] {
+			return
+		}
+		if _, inGraph := g.byFn[to]; !inGraph {
+			return // exempt or bodyless (declared via assembly/stubs)
+		}
+		seen[to] = true
+		node.edges = append(node.edges, graphEdge{to: to, pos: g.m.Fset.Position(pos), via: via})
+	}
+
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			node.sinks = append(node.sinks, puritySink{
+				pos:  g.m.Fset.Position(x.Pos()),
+				desc: "spawns a goroutine (go statement)",
+			})
+		case *ast.SelectorExpr:
+			// Qualified references into impure packages (os, net, syscall,
+			// wall clock, global rand) are sinks; see purity.go.
+			if sink, ok := puritySinkFor(info, x, cfg); ok {
+				node.sinks = append(node.sinks, puritySink{pos: g.m.Fset.Position(x.Pos()), desc: sink})
+			}
+		case *ast.CallExpr:
+			// Interface dispatch: a call whose callee is an abstract method
+			// fans out to every module implementation.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && isInterfaceMethod(fn) {
+					for _, impl := range impls.resolve(fn) {
+						addEdge(impl, x.Pos(), g.funcDisplayName(impl))
+					}
+				}
+			}
+		case *ast.Ident:
+			// Any use of a function identifier — call, method value, func
+			// value stored into a field or passed along — is an edge.
+			if fn, ok := info.Uses[x].(*types.Func); ok && !isInterfaceMethod(fn) {
+				addEdge(fn, x.Pos(), "")
+			}
+		}
+		return true
+	})
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// implIndex maps module-declared interface methods to the concrete module
+// methods that may stand behind them at a dispatch site.
+type implIndex struct {
+	g *callGraph
+	// namedTypes are the module's concrete named types, in deterministic
+	// (package, then scope-name) order.
+	namedTypes []*types.Named
+	cache      map[*types.Func][]*types.Func
+}
+
+// buildImplIndex collects every concrete named type declared in a non-exempt
+// module package.
+func buildImplIndex(m *Module, g *callGraph) *implIndex {
+	idx := &implIndex{g: g, cache: make(map[*types.Func][]*types.Func)}
+	for _, pkg := range m.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			idx.namedTypes = append(idx.namedTypes, named)
+		}
+	}
+	return idx
+}
+
+// resolve returns the concrete module methods a call to abstract method fn
+// may dispatch to. Only interfaces declared inside the module are expanded.
+func (idx *implIndex) resolve(fn *types.Func) []*types.Func {
+	if impls, ok := idx.cache[fn]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	idx.cache[fn] = nil
+	if fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), idx.g.m.Path) {
+		return nil // interface declared outside the module: not expanded
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	for _, named := range idx.namedTypes {
+		var impl types.Type
+		switch {
+		case types.Implements(named, iface):
+			impl = named
+		case types.Implements(types.NewPointer(named), iface):
+			impl = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, named.Obj().Pkg(), fn.Name())
+		method, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if _, inGraph := idx.g.byFn[method]; inGraph {
+			impls = append(impls, method)
+		}
+	}
+	idx.cache[fn] = impls
+	return impls
+}

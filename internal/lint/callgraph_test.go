@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the call-graph builder's hard cases: the purity proof is
+// only as strong as the edges, so each indirection idiom — plain helper
+// chains, method values, conservative interface dispatch, function-typed
+// struct fields — must produce a finding whose witness chain names the exact
+// route from the engine root to the sink.
+func TestCallGraphWitnessChains(t *testing.T) {
+	m, _ := vetFixture(t, "purity", "example.com/vet",
+		"internal/engine", "internal/util", "internal/runner")
+	findings := runPurity(t, m, purityFixtureConfig())
+
+	chains := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		chains[strings.Join(f.Chain, " -> ")] = true
+	}
+	for _, want := range []struct{ why, chain string }{
+		{"three-deep helper chain",
+			"internal/engine.step -> internal/util.Tick -> internal/util.clock"},
+		{"goroutine spawn behind a helper",
+			"internal/engine.Spawn -> internal/util.Fork"},
+		{"method value (f := c.Read; f())",
+			"internal/engine.MethodValue -> internal/util.(Clock).Read"},
+		{"interface dispatch over module implementations",
+			"internal/engine.Dispatch -> internal/util.(BadTicker).Tick (interface dispatch)"},
+		{"function stored into a func-typed struct field",
+			"internal/engine.FieldCall -> internal/util.Env2"},
+	} {
+		if !chains[want.chain] {
+			t.Errorf("%s: no finding with witness chain %q; got chains %v", want.why, want.chain, keys(chains))
+		}
+	}
+
+	// The pure implementation reached by the same dispatch site must not
+	// produce a finding.
+	for _, f := range findings {
+		if strings.Contains(f.Message, "GoodTicker") {
+			t.Errorf("pure interface implementation was reported: %s", f)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestCallGraphExemptPackages: exempt packages are outside the graph, so
+// even a direct call from a root into them cannot create edges or sinks.
+func TestCallGraphExemptPackages(t *testing.T) {
+	m, _ := vetFixture(t, "purity", "example.com/vet",
+		"internal/engine", "internal/util", "internal/runner")
+	g := buildCallGraph(m, []string{"internal/runner"}, purityFixtureConfig())
+	for _, node := range g.order {
+		if node.pkg.RelPath == "internal/runner" {
+			t.Errorf("exempt package function %s present in the call graph", g.funcDisplayName(node.fn))
+		}
+	}
+	// util.clock must be in the graph with its wall-clock sink attached.
+	var clockSinks int
+	for _, node := range g.order {
+		if g.funcDisplayName(node.fn) == "internal/util.clock" {
+			clockSinks = len(node.sinks)
+		}
+	}
+	if clockSinks != 1 {
+		t.Errorf("internal/util.clock should carry exactly one sink, got %d", clockSinks)
+	}
+}

@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The checkpoint-completeness pass closes the classic crash-recovery trap:
+// engine state grows a field, the checkpoint state struct grows with it, but
+// one side of the round trip forgets it — and every resumed run silently
+// diverges from its uninterrupted twin. For every package in scope the pass
+// pairs checkpoint encoders (CheckpointState / Checkpoint) with decoders
+// (RestoreCheckpoint / RestoreCheckpointState / Resume), computes each
+// side's same-package call closure, and requires every field of every state
+// struct built by an encoder to be referenced in BOTH closures. Deleting a
+// field reference from either side fails CI at the field's declaration.
+//
+// Pairing: a receiver type with both an encoder and a decoder forms its own
+// pair (FIFO.CheckpointState ↔ FIFO.RestoreCheckpoint); everything left
+// over pools into one package-level pair, which is how a method encoder
+// meets a function decoder (sim.(*Simulator).Checkpoint ↔ sim.Resume). An
+// encoder with no decoder anywhere is itself a finding: write-only
+// checkpoint state is exactly the bug this pass exists to catch.
+
+// defaultEncodeNames / defaultDecodeNames are the recognized serializer
+// names; override via VetConfig.
+var (
+	defaultEncodeNames = []string{"CheckpointState", "Checkpoint"}
+	defaultDecodeNames = []string{"RestoreCheckpoint", "RestoreCheckpointState", "Resume"}
+)
+
+// ckptSide is one side (encode or decode) of a checkpoint pair.
+type ckptSide struct {
+	decls []*ast.FuncDecl
+}
+
+// ckptPair is a matched encoder/decoder group.
+type ckptPair struct {
+	label  string // receiver type name, or "package" for the pooled pair
+	encode ckptSide
+	decode ckptSide
+}
+
+// checkCkptComplete runs the pass over every package in scope.
+func checkCkptComplete(m *Module, cfg VetConfig, keep func(Finding)) {
+	encodeNames := cfg.EncodeNames
+	if encodeNames == nil {
+		encodeNames = defaultEncodeNames
+	}
+	decodeNames := cfg.DecodeNames
+	if decodeNames == nil {
+		decodeNames = defaultDecodeNames
+	}
+	for _, pkg := range m.Packages {
+		if !matchScope(cfg.CheckpointScope, pkg.RelPath) {
+			continue
+		}
+		checkPackageCkpt(m, pkg, encodeNames, decodeNames, keep)
+	}
+}
+
+func nameIn(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the base type name of a method's receiver, "" for
+// plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkPackageCkpt(m *Module, pkg *Package, encodeNames, decodeNames []string, keep func(Finding)) {
+	type group struct{ encode, decode []*ast.FuncDecl }
+	byRecv := make(map[string]*group)
+	var recvOrder []string
+	add := func(recv string, fd *ast.FuncDecl, enc bool) {
+		grp := byRecv[recv]
+		if grp == nil {
+			grp = &group{}
+			byRecv[recv] = grp
+			recvOrder = append(recvOrder, recv)
+		}
+		if enc {
+			grp.encode = append(grp.encode, fd)
+		} else {
+			grp.decode = append(grp.decode, fd)
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case nameIn(encodeNames, fd.Name.Name):
+				add(recvTypeName(fd), fd, true)
+			case nameIn(decodeNames, fd.Name.Name):
+				add(recvTypeName(fd), fd, false)
+			}
+		}
+	}
+	if len(byRecv) == 0 {
+		return
+	}
+
+	// Receiver groups with both sides pair up; the rest pool.
+	var pairs []*ckptPair
+	pool := &ckptPair{label: "package"}
+	for _, recv := range recvOrder {
+		grp := byRecv[recv]
+		if recv != "" && len(grp.encode) > 0 && len(grp.decode) > 0 {
+			pairs = append(pairs, &ckptPair{
+				label:  recv,
+				encode: ckptSide{decls: grp.encode},
+				decode: ckptSide{decls: grp.decode},
+			})
+			continue
+		}
+		pool.encode.decls = append(pool.encode.decls, grp.encode...)
+		pool.decode.decls = append(pool.decode.decls, grp.decode...)
+	}
+	if len(pool.encode.decls) > 0 || len(pool.decode.decls) > 0 {
+		pairs = append(pairs, pool)
+	}
+
+	calls := packageCallMap(pkg)
+	for _, pair := range pairs {
+		checkPair(m, pkg, pair, calls, keep)
+	}
+}
+
+// packageCallMap maps each declared function to the same-package functions
+// it references, for closure computation.
+func packageCallMap(pkg *Package) map[*ast.FuncDecl][]*ast.FuncDecl {
+	declOf := make(map[*types.Func]*ast.FuncDecl)
+	var decls []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					declOf[fn] = fd
+				}
+			}
+		}
+	}
+	calls := make(map[*ast.FuncDecl][]*ast.FuncDecl, len(decls))
+	for _, fd := range decls {
+		seen := make(map[*ast.FuncDecl]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				if callee, ok := declOf[fn]; ok && !seen[callee] {
+					seen[callee] = true
+					calls[fd] = append(calls[fd], callee)
+				}
+			}
+			return true
+		})
+	}
+	return calls
+}
+
+// sideClosure expands a side's declarations with every same-package function
+// transitively reachable from them.
+func sideClosure(side ckptSide, calls map[*ast.FuncDecl][]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	seen := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if seen[fd] {
+			return
+		}
+		seen[fd] = true
+		out = append(out, fd)
+		for _, callee := range calls[fd] {
+			visit(callee)
+		}
+	}
+	for _, fd := range side.decls {
+		visit(fd)
+	}
+	return out
+}
+
+// fieldRefs collects every struct field object referenced in the closure —
+// composite-literal keys, selector reads and writes — plus, for unkeyed
+// struct literals, every field of the literal's type.
+func fieldRefs(pkg *Package, closure []*ast.FuncDecl) map[*types.Var]bool {
+	refs := make(map[*types.Var]bool)
+	markAll := func(st *types.Struct) {
+		for i := 0; i < st.NumFields(); i++ {
+			refs[st.Field(i)] = true
+		}
+	}
+	for _, fd := range closure {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.IsField() {
+					refs[v] = true
+				}
+			case *ast.CompositeLit:
+				// An unkeyed struct literal positionally sets every field.
+				if len(x.Elts) == 0 {
+					return true
+				}
+				if _, keyed := x.Elts[0].(*ast.KeyValueExpr); keyed {
+					return true
+				}
+				if t := pkg.Info.TypeOf(x); t != nil {
+					if st, ok := t.Underlying().(*types.Struct); ok {
+						markAll(st)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// encodedStructs finds the named struct types declared in pkg that an encode
+// closure constructs via composite literal — these are the checkpoint state
+// types whose fields must round-trip.
+func encodedStructs(pkg *Package, closure []*ast.FuncDecl) []*types.Named {
+	seen := make(map[*types.Named]bool)
+	var out []*types.Named
+	for _, fd := range closure {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(cl)
+			if t == nil {
+				return true
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() != pkg.Types {
+				return true
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			if !seen[named] {
+				seen[named] = true
+				out = append(out, named)
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj().Name() < out[j].Obj().Name() })
+	return out
+}
+
+// checkPair verifies one encoder/decoder pair.
+func checkPair(m *Module, pkg *Package, pair *ckptPair, calls map[*ast.FuncDecl][]*ast.FuncDecl, keep func(Finding)) {
+	if len(pair.encode.decls) == 0 {
+		return // decoder-only pools (e.g. a Restore helper package) have nothing to prove
+	}
+	if len(pair.decode.decls) == 0 {
+		for _, fd := range pair.encode.decls {
+			keep(Finding{
+				Pos:  m.Fset.Position(fd.Name.Pos()),
+				Rule: RuleCkptComplete,
+				Message: fmt.Sprintf("checkpoint encoder %s.%s has no matching decoder (%v) in package %s; "+
+					"write-only checkpoint state cannot be restored",
+					pair.label, fd.Name.Name, defaultDecodeNames, pkg.RelPath),
+			})
+		}
+		return
+	}
+	encClosure := sideClosure(pair.encode, calls)
+	decClosure := sideClosure(pair.decode, calls)
+	encRefs := fieldRefs(pkg, encClosure)
+	decRefs := fieldRefs(pkg, decClosure)
+	for _, named := range encodedStructs(pkg, encClosure) {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !encRefs[field] {
+				keep(Finding{
+					Pos:  m.Fset.Position(field.Pos()),
+					Rule: RuleCkptComplete,
+					Message: fmt.Sprintf("checkpoint state field %s.%s is never set in the encode path of %s "+
+						"(pair %s); a resumed run would silently lose it",
+						named.Obj().Name(), field.Name(), pkg.RelPath, pair.label),
+				})
+			}
+			if !decRefs[field] {
+				keep(Finding{
+					Pos:  m.Fset.Position(field.Pos()),
+					Rule: RuleCkptComplete,
+					Message: fmt.Sprintf("checkpoint state field %s.%s is never read in the decode path of %s "+
+						"(pair %s); a resumed run would silently drop it",
+						named.Obj().Name(), field.Name(), pkg.RelPath, pair.label),
+				})
+			}
+		}
+	}
+}

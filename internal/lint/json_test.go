@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMarshalFindings pins the JSON artifact contract: an array (never
+// null), stable field order, module-relative slash paths, and the witness
+// chain present exactly when a finding has one.
+func TestMarshalFindings(t *testing.T) {
+	base := filepath.Join("/", "repo")
+	findings := []Finding{
+		{
+			Pos:     token.Position{Filename: filepath.Join(base, "internal", "a.go"), Line: 3},
+			Rule:    RulePurity,
+			Message: "x reads the wall clock",
+			Chain:   []string{"internal/sim.Run", "internal/util.clock"},
+		},
+		{
+			Pos:     token.Position{Filename: filepath.Join(base, "internal", "b.go"), Line: 9},
+			Rule:    RuleLayering,
+			Message: "bad import",
+		},
+	}
+	data, err := MarshalFindings(findings, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("JSON output must end with a newline")
+	}
+	var got []FindingJSON
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %d", len(got))
+	}
+	if got[0].File != "internal/a.go" || got[1].File != "internal/b.go" {
+		t.Errorf("paths not relativized: %q, %q", got[0].File, got[1].File)
+	}
+	if len(got[0].Chain) != 2 || got[0].Chain[1] != "internal/util.clock" {
+		t.Errorf("chain not preserved: %v", got[0].Chain)
+	}
+	if got[1].Chain != nil {
+		t.Errorf("chainless finding must omit the chain, got %v", got[1].Chain)
+	}
+	if strings.Contains(string(data), `"chain": null`) {
+		t.Error("chain must be omitted, not null")
+	}
+}
+
+// TestMarshalFindingsEmpty: a clean run serializes as [] so CI artifact
+// consumers never see null.
+func TestMarshalFindingsEmpty(t *testing.T) {
+	data, err := MarshalFindings(nil, "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "[]" {
+		t.Fatalf("clean run must serialize as [], got %q", data)
+	}
+}
+
+// TestRelPath covers the display-path fallbacks.
+func TestRelPath(t *testing.T) {
+	abs := filepath.Join("/", "other", "x.go")
+	cases := []struct{ base, path, want string }{
+		{filepath.Join("/", "repo"), filepath.Join("/", "repo", "a", "x.go"), "a/x.go"},
+		{filepath.Join("/", "repo"), abs, abs}, // escapes base: stays absolute
+		{"", abs, abs},
+		{filepath.Join("/", "repo"), "", ""},
+	}
+	for _, c := range cases {
+		if got := RelPath(c.base, c.path); got != c.want {
+			t.Errorf("RelPath(%q, %q) = %q, want %q", c.base, c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// The import-layering pass turns the repository's layering conventions into
+// a checked DAG. Each module package belongs to exactly one named layer; a
+// layer declares which other layers it may import and which stdlib subtrees
+// are off limits. The spec is data, so "the engine must not know about the
+// runner" and "only the persistence layer touches os" are enforced by CI
+// instead of review vigilance.
+
+// Layer is one stratum of the layer spec.
+type Layer struct {
+	// Name identifies the layer in findings and in Allow lists.
+	Name string
+	// Packages are the matchScope patterns assigning packages to this layer.
+	Packages []string
+	// Allow names the layers whose packages this layer may import. A layer
+	// never imports itself or anything unlisted.
+	Allow []string
+	// DenyStd lists stdlib (or external) import path prefixes this layer
+	// must not import; "os" covers "os" and "os/...".
+	DenyStd []string
+	// AllowStd lists exceptions to DenyStd, matched the same way.
+	AllowStd []string
+}
+
+// pathHasPrefix reports whether import path p equals prefix or sits under it.
+func pathHasPrefix(p, prefix string) bool {
+	return p == prefix || strings.HasPrefix(p, prefix+"/")
+}
+
+// layerOf finds the unique layer for a package, reporting spec gaps.
+func layerOf(layers []Layer, relPath string) (*Layer, error) {
+	var found *Layer
+	for i := range layers {
+		if !matchScope(layers[i].Packages, relPath) {
+			continue
+		}
+		if found != nil {
+			return nil, fmt.Errorf("package %s matches layers %q and %q; the layer spec must be a partition",
+				relPath, found.Name, layers[i].Name)
+		}
+		found = &layers[i]
+	}
+	if found == nil {
+		return nil, fmt.Errorf("package %s is not covered by the layer spec; add it to a layer", relPath)
+	}
+	return found, nil
+}
+
+// validateLayerSpec rejects malformed specs: duplicate layer names, Allow
+// entries naming unknown layers or the layer itself, and cycles in the
+// layer-allow graph (the spec must be a DAG or "checked layering" means
+// nothing).
+func validateLayerSpec(layers []Layer) error {
+	byName := make(map[string]*Layer, len(layers))
+	for i := range layers {
+		if _, dup := byName[layers[i].Name]; dup {
+			return fmt.Errorf("layer %q declared twice", layers[i].Name)
+		}
+		byName[layers[i].Name] = &layers[i]
+	}
+	for i := range layers {
+		for _, a := range layers[i].Allow {
+			if a == layers[i].Name {
+				return fmt.Errorf("layer %q allows itself; intra-layer imports are always forbidden", a)
+			}
+			if _, ok := byName[a]; !ok {
+				return fmt.Errorf("layer %q allows unknown layer %q", layers[i].Name, a)
+			}
+		}
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	state := make(map[string]int, len(layers))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("layer-allow cycle through %q; the spec must be a DAG", name)
+		}
+		state[name] = gray
+		for _, dep := range byName[name].Allow {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[name] = black
+		return nil
+	}
+	for i := range layers {
+		if err := visit(layers[i].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLayers enforces the layer spec over every loaded package.
+func checkLayers(m *Module, cfg VetConfig, keep func(Finding)) {
+	layers := cfg.Layers
+	if err := validateLayerSpec(layers); err != nil {
+		// A broken spec is reported once, anchored at the module root.
+		keep(Finding{Rule: RuleLayering, Message: "invalid layer spec: " + err.Error()})
+		return
+	}
+	for _, pkg := range m.Packages {
+		layer, err := layerOf(layers, pkg.RelPath)
+		if err != nil {
+			keep(Finding{
+				Pos:     m.Fset.Position(pkg.Files[0].Package),
+				Rule:    RuleLayering,
+				Message: err.Error(),
+			})
+			continue
+		}
+		allowed := make(map[string]bool, len(layer.Allow))
+		for _, a := range layer.Allow {
+			allowed[a] = true
+		}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				checkImport(m, layers, layer, allowed, pkg, imp, path, keep)
+			}
+		}
+	}
+}
+
+// checkImport validates one import declaration against the importing
+// package's layer.
+func checkImport(m *Module, layers []Layer, layer *Layer, allowed map[string]bool,
+	pkg *Package, imp *ast.ImportSpec, path string, keep func(Finding)) {
+	if pathHasPrefix(path, m.Path) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, m.Path), "/")
+		target, err := layerOf(layers, rel)
+		if err != nil {
+			keep(Finding{
+				Pos:     m.Fset.Position(imp.Pos()),
+				Rule:    RuleLayering,
+				Message: fmt.Sprintf("import of %s: %v", rel, err),
+			})
+			return
+		}
+		if target.Name == layer.Name {
+			keep(Finding{
+				Pos:  m.Fset.Position(imp.Pos()),
+				Rule: RuleLayering,
+				Message: fmt.Sprintf("%s imports %s within layer %q; intra-layer imports are forbidden — split the layer",
+					pkg.RelPath, rel, layer.Name),
+			})
+			return
+		}
+		if !allowed[target.Name] {
+			keep(Finding{
+				Pos:  m.Fset.Position(imp.Pos()),
+				Rule: RuleLayering,
+				Message: fmt.Sprintf("%s (layer %q) imports %s (layer %q), which the layer spec does not allow",
+					pkg.RelPath, layer.Name, rel, target.Name),
+			})
+		}
+		return
+	}
+	for _, deny := range layer.DenyStd {
+		if !pathHasPrefix(path, deny) {
+			continue
+		}
+		exempt := false
+		for _, allow := range layer.AllowStd {
+			if pathHasPrefix(path, allow) {
+				exempt = true
+				break
+			}
+		}
+		if !exempt {
+			keep(Finding{
+				Pos:  m.Fset.Position(imp.Pos()),
+				Rule: RuleLayering,
+				Message: fmt.Sprintf("%s (layer %q) imports %q, which is denied in this layer",
+					pkg.RelPath, layer.Name, path),
+			})
+		}
+		return
+	}
+}

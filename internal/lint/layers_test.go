@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// layersFixtureSpec is the three-layer spec the fixture violates: engine may
+// import base only (and never os/net); orch sits on top.
+func layersFixtureSpec() []Layer {
+	return []Layer{
+		{Name: "base", Packages: []string{"internal/base"}},
+		{Name: "engine", Packages: []string{"internal/engine", "internal/engine2"},
+			Allow: []string{"base"}, DenyStd: []string{"os", "net"}},
+		{Name: "orch", Packages: []string{"internal/orch"},
+			Allow: []string{"base", "engine"}},
+	}
+}
+
+func runLayers(t *testing.T, m *Module, layers []Layer) []Finding {
+	t.Helper()
+	var findings []Finding
+	checkLayers(m, VetConfig{Layers: layers}, func(f Finding) { findings = append(findings, f) })
+	SortFindings(findings)
+	return findings
+}
+
+// TestLayerFixtures seeds the four violation classes — upward import, denied
+// stdlib import, intra-layer import, uncovered package — and requires each
+// to fire exactly where marked while the clean packages stay silent.
+func TestLayerFixtures(t *testing.T) {
+	m, dirs := vetFixture(t, "layers", "example.com/layers",
+		"internal/base", "internal/engine", "internal/engine2",
+		"internal/orch", "internal/stray")
+	findings := runLayers(t, m, layersFixtureSpec())
+	matchFindingsToWants(t, findings, dirs)
+
+	assertOne := func(substr string) {
+		t.Helper()
+		for _, f := range findings {
+			if strings.Contains(f.Message, substr) {
+				return
+			}
+		}
+		t.Errorf("no finding mentions %q; got %v", substr, findings)
+	}
+	assertOne("which the layer spec does not allow") // engine -> orch
+	assertOne("denied in this layer")                // engine -> os
+	assertOne("intra-layer imports are forbidden")   // engine2 -> engine
+	assertOne("not covered by the layer spec")       // internal/stray
+}
+
+// TestAllowStdOverridesDeny: AllowStd carves an exception out of DenyStd, so
+// the denied-import finding disappears without loosening anything else.
+func TestAllowStdOverridesDeny(t *testing.T) {
+	m, _ := vetFixture(t, "layers", "example.com/layers",
+		"internal/base", "internal/engine", "internal/engine2",
+		"internal/orch", "internal/stray")
+	spec := layersFixtureSpec()
+	spec[1].AllowStd = []string{"os"}
+	findings := runLayers(t, m, spec)
+	for _, f := range findings {
+		if strings.Contains(f.Message, "denied in this layer") {
+			t.Errorf("AllowStd should have exempted the os import: %s", f)
+		}
+	}
+}
+
+// TestLayerSpecValidation rejects malformed specs outright: duplicate names,
+// self-allows, unknown layers, and allow-graph cycles all mean the "checked
+// DAG" guarantee is void, so they are hard errors, not skipped layers.
+func TestLayerSpecValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		layers  []Layer
+		wantErr string
+	}{
+		{"duplicate name",
+			[]Layer{{Name: "a"}, {Name: "a"}},
+			"declared twice"},
+		{"self allow",
+			[]Layer{{Name: "a", Allow: []string{"a"}}},
+			"allows itself"},
+		{"unknown allow",
+			[]Layer{{Name: "a", Allow: []string{"ghost"}}},
+			"unknown layer"},
+		{"cycle",
+			[]Layer{{Name: "a", Allow: []string{"b"}}, {Name: "b", Allow: []string{"a"}}},
+			"cycle"},
+		{"valid DAG",
+			[]Layer{{Name: "a"}, {Name: "b", Allow: []string{"a"}}, {Name: "c", Allow: []string{"a", "b"}}},
+			""},
+	}
+	for _, c := range cases {
+		err := validateLayerSpec(c.layers)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: want error containing %q, got %v", c.name, c.wantErr, err)
+		}
+	}
+}
+
+// TestBrokenSpecIsOneFinding: a spec that fails validation produces a single
+// invalid-layer-spec finding instead of a misleading per-package cascade.
+func TestBrokenSpecIsOneFinding(t *testing.T) {
+	m, _ := vetFixture(t, "layers", "example.com/layers", "internal/base")
+	findings := runLayers(t, m, []Layer{{Name: "a", Allow: []string{"a"}}})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "invalid layer spec") {
+		t.Fatalf("want exactly one invalid-spec finding, got %v", findings)
+	}
+}
+
+// TestDefaultLayersValid: the shipped repository spec must itself be a valid
+// partition DAG, or the self-enforcing vet test proves nothing.
+func TestDefaultLayersValid(t *testing.T) {
+	if err := validateLayerSpec(DefaultLayers()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,11 +28,22 @@ import (
 
 // Rule names, as reported in findings and matched by fixture expectations.
 const (
-	RuleOrderedMap  = "ordered-map-iteration"
-	RuleWallClock   = "no-wall-clock"
-	RuleGoroutines  = "no-stray-goroutines"
-	RuleFloatEq     = "float-eq"
+	RuleOrderedMap   = "ordered-map-iteration"
+	RuleWallClock    = "no-wall-clock"
+	RuleGoroutines   = "no-stray-goroutines"
+	RuleFloatEq      = "float-eq"
 	RuleUncheckedErr = "unchecked-error"
+	// RuleBadAnnotation rejects malformed //coda:ordered-ok annotations: a
+	// missing reason, stacked annotations, or an annotation that suppresses
+	// nothing (usually on the wrong line).
+	RuleBadAnnotation = "bad-annotation"
+)
+
+// Whole-program (coda-vet) rule names; see vet.go.
+const (
+	RulePurity       = "transitive-purity"
+	RuleLayering     = "import-layering"
+	RuleCkptComplete = "checkpoint-complete"
 )
 
 // Config scopes each rule to package sets. Paths are module-relative
@@ -87,6 +98,9 @@ type Finding struct {
 	Rule string
 	// Message explains the violation.
 	Message string
+	// Chain is the witness call chain for transitive findings (root first,
+	// offending function last); empty for per-file rules.
+	Chain []string
 }
 
 // String formats the finding as "file:line: rule: message".
@@ -112,47 +126,112 @@ func matchScope(scope []string, relPath string) bool {
 // the prefix is the mandatory justification.
 const AnnotationPrefix = "//coda:ordered-ok"
 
-// annotations maps file name -> set of line numbers carrying a valid
-// (reason-bearing) suppression annotation.
-type annotations map[string]map[int]bool
+// annotation is one //coda:ordered-ok comment, valid or not.
+type annotation struct {
+	pos       token.Position
+	hasReason bool
+	used      bool // suppressed at least one finding this run
+}
 
-// collectAnnotations scans a file's comments for suppression annotations.
-// Annotations without a reason are ignored (and therefore do not suppress).
-func collectAnnotations(fset *token.FileSet, file *ast.File, into annotations) {
+// annotations indexes every suppression annotation in the module. Only
+// well-formed (reason-bearing, unstacked) annotations suppress; the rest are
+// reported as bad-annotation findings by validate.
+type annotations struct {
+	byLine map[string]map[int]*annotation
+	all    []*annotation // in scan order (file, then position)
+}
+
+func newAnnotations() *annotations {
+	return &annotations{byLine: make(map[string]map[int]*annotation)}
+}
+
+// collect scans a file's comments for suppression annotations.
+func (a *annotations) collect(fset *token.FileSet, file *ast.File) {
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			rest, ok := strings.CutPrefix(c.Text, AnnotationPrefix)
 			if !ok {
 				continue
 			}
-			if strings.TrimSpace(rest) == "" {
-				continue // no reason given: annotation is void
-			}
 			pos := fset.Position(c.Pos())
-			lines, found := into[pos.Filename]
+			ann := &annotation{pos: pos, hasReason: strings.TrimSpace(rest) != ""}
+			lines, found := a.byLine[pos.Filename]
 			if !found {
-				lines = make(map[int]bool)
-				into[pos.Filename] = lines
+				lines = make(map[int]*annotation)
+				a.byLine[pos.Filename] = lines
 			}
-			lines[pos.Line] = true
+			lines[pos.Line] = ann
+			a.all = append(a.all, ann)
 		}
 	}
 }
 
-// suppressed reports whether a finding at pos carries an annotation on the
-// same line or the line directly above.
-func (a annotations) suppressed(pos token.Position) bool {
-	lines := a[pos.Filename]
-	return lines[pos.Line] || lines[pos.Line-1]
+// stacked reports whether ann sits directly above another annotation, which
+// makes its target ambiguous: an annotation covers only its own line and the
+// line below, and the line below is already an annotation.
+func (a *annotations) stacked(ann *annotation) bool {
+	_, below := a.byLine[ann.pos.Filename][ann.pos.Line+1]
+	return below
+}
+
+// valid reports whether ann is allowed to suppress findings.
+func (a *annotations) valid(ann *annotation) bool {
+	return ann.hasReason && !a.stacked(ann)
+}
+
+// suppressed reports whether a finding at pos carries a valid annotation on
+// the same line or the line directly above, and marks that annotation used.
+func (a *annotations) suppressed(pos token.Position) bool {
+	lines := a.byLine[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if ann, ok := lines[line]; ok && a.valid(ann) {
+			ann.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// validate reports malformed and ineffective annotations: a missing reason,
+// stacked annotations, and annotations that suppressed nothing (usually an
+// annotation drifted onto the wrong line). Call after every rule has run so
+// usage is fully accounted.
+func (a *annotations) validate(keep func(Finding)) {
+	for _, ann := range a.all {
+		switch {
+		case !ann.hasReason:
+			keep(Finding{
+				Pos:  ann.pos,
+				Rule: RuleBadAnnotation,
+				Message: "suppression annotation carries no reason; write " +
+					AnnotationPrefix + " <why this site is safe>",
+			})
+		case a.stacked(ann):
+			keep(Finding{
+				Pos:  ann.pos,
+				Rule: RuleBadAnnotation,
+				Message: "stacked suppression annotations: an annotation covers only its own line " +
+					"and the line below, and the line below is another annotation — merge them " +
+					"into one annotation with one reason",
+			})
+		case !ann.used:
+			keep(Finding{
+				Pos:  ann.pos,
+				Rule: RuleBadAnnotation,
+				Message: "suppression annotation suppresses no finding; delete it or move it onto " +
+					"the flagged line (or the line directly above it)",
+			})
+		}
+	}
 }
 
 // Run executes every rule over the module and returns the surviving
 // findings sorted by position.
 func Run(m *Module, cfg Config) []Finding {
-	ann := make(annotations)
+	ann := newAnnotations()
 	for _, pkg := range m.Packages {
 		for _, file := range pkg.Files {
-			collectAnnotations(m.Fset, file, ann)
+			ann.collect(m.Fset, file)
 		}
 	}
 
@@ -179,6 +258,17 @@ func Run(m *Module, cfg Config) []Finding {
 			checkUncheckedError(m, pkg, keep)
 		}
 	}
+	// Annotation hygiene runs after every rule so usage is fully accounted.
+	// Bad-annotation findings are appended directly: an annotation must not
+	// be able to suppress the finding about itself.
+	ann.validate(func(f Finding) { out = append(out, f) })
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, then rule — the stable report
+// order shared by Run, RunVet, the CLIs and the JSON output.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -189,7 +279,6 @@ func Run(m *Module, cfg Config) []Finding {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
 }
 
 // LintTrees loads root's package trees and runs the default-config rules —

@@ -162,6 +162,42 @@ func LoadDirs(root, modPath string, dirs []string) (*Module, error) {
 	return m, nil
 }
 
+// FilterToDirs restricts findings to the requested package patterns ("./...",
+// "./internal/sim", "internal/sched/..."), resolved relative to dir. With no
+// arguments or a bare "./..." everything stays. A pattern naming a directory
+// that does not exist is an error — a typo'd path must not look like a clean
+// run. Shared by the coda-lint and coda-vet CLIs.
+func FilterToDirs(findings []Finding, args []string, dir string) ([]Finding, error) {
+	var prefixes []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return findings, nil
+		}
+		pat, _ := strings.CutSuffix(a, "/...") // a dir prefix covers both the exact and recursive case
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(dir, pat)
+		}
+		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", a)
+		}
+		prefixes = append(prefixes, abs+string(filepath.Separator))
+	}
+	if len(prefixes) == 0 {
+		return findings, nil
+	}
+	out := []Finding{}
+	for _, f := range findings {
+		for _, p := range prefixes {
+			if strings.HasPrefix(f.Pos.Filename, p) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
 // rawPkg is a parsed-but-unchecked package.
 type rawPkg struct {
 	relPath string

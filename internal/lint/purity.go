@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The transitive-purity pass proves that no function reachable from the
+// engine's entry points can observe the host: no wall clock, no global
+// math/rand stream, no filesystem/network/process APIs, no goroutines. The
+// per-file no-wall-clock rule catches a `time.Now()` written directly into
+// an engine package; this pass catches the helper three calls deep in
+// another package that reaches the same clock, and reports the full witness
+// call chain so the finding is actionable without re-deriving the path.
+//
+// Unlike the per-file rules, purity findings are NOT suppressible with
+// //coda:ordered-ok: a hidden impurity breaks resume-equivalence no matter
+// how good the reason sounds. The escape hatches are structural — move the
+// code into an exempt package (internal/runner, cmd/*) or allowlist a
+// specific qualified name in VetConfig.PurityAllow.
+
+// purityTimeFuncs are the time-package functions that observe or wait on the
+// host clock. Superset of the per-file rule's wallClockFuncs: a transitive
+// time.Sleep or timer is just as fatal to replay-equivalence.
+var purityTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// puritySinkFor classifies a qualified selector as an impurity sink.
+func puritySinkFor(info *types.Info, sel *ast.SelectorExpr, cfg VetConfig) (string, bool) {
+	path, ok := importedPackage(info, sel)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	qualified := path + "." + name
+	for _, allow := range cfg.PurityAllow {
+		if qualified == allow {
+			return "", false
+		}
+	}
+	switch {
+	case path == "time" && purityTimeFuncs[name]:
+		return fmt.Sprintf("reads the wall clock (time.%s)", name), true
+	case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[name]:
+		return fmt.Sprintf("draws from the global rand stream (rand.%s)", name), true
+	}
+	for _, impure := range cfg.ImpurePkgs {
+		if path != impure && !strings.HasPrefix(path, impure+"/") {
+			continue
+		}
+		// Only functions and variables are effects; referencing a type or a
+		// constant from an impure package is harmless.
+		switch info.Uses[sel.Sel].(type) {
+		case *types.Func:
+			return fmt.Sprintf("calls into %s (%s)", path, qualified), true
+		case *types.Var:
+			return fmt.Sprintf("touches %s state (%s)", path, qualified), true
+		}
+	}
+	return "", false
+}
+
+// checkPurity builds the module call graph, walks it breadth-first from
+// every function declared in a PurityRoots package, and reports each
+// reachable sink once with the (shortest) witness chain from a root.
+func checkPurity(m *Module, cfg VetConfig, keep func(Finding)) {
+	g := buildCallGraph(m, cfg.PurityExempt, cfg)
+
+	// parent[n] records how n was first reached; roots have no parent.
+	parent := make(map[*graphNode]graphEdge)
+	visited := make(map[*graphNode]bool)
+	var queue []*graphNode
+	for _, node := range g.order {
+		if matchScope(cfg.PurityRoots, node.pkg.RelPath) {
+			visited[node] = true
+			queue = append(queue, node)
+		}
+	}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for _, sink := range node.sinks {
+			chain := witnessChain(g, parent, node)
+			keep(Finding{
+				Pos:     sink.pos,
+				Rule:    RulePurity,
+				Message: fmt.Sprintf("%s %s [reached via %s]", g.funcDisplayName(node.fn), sink.desc, strings.Join(chain, " -> ")),
+				Chain:   chain,
+			})
+		}
+		for _, e := range node.edges {
+			next := g.byFn[e.to]
+			if next == nil || visited[next] {
+				continue
+			}
+			visited[next] = true
+			parent[next] = graphEdge{to: node.fn, pos: e.pos, via: e.via}
+			queue = append(queue, next)
+		}
+	}
+}
+
+// witnessChain renders the root-to-node call chain recorded by the BFS.
+func witnessChain(g *callGraph, parent map[*graphNode]graphEdge, node *graphNode) []string {
+	var rev []string
+	for {
+		name := g.funcDisplayName(node.fn)
+		p, ok := parent[node]
+		if ok && p.via != "" {
+			name += " (interface dispatch)"
+		}
+		rev = append(rev, name)
+		if !ok {
+			break
+		}
+		node = g.byFn[p.to]
+	}
+	chain := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		chain = append(chain, rev[i])
+	}
+	return chain
+}

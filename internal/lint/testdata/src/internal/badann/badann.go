@@ -1,0 +1,38 @@
+// Package badann seeds malformed suppression annotations: bare (no reason),
+// stacked, and drifted onto the wrong line. It is checked by
+// annotations_test.go with explicit sentinel-based expectations instead of
+// `// want` markers — a bare annotation cannot carry a marker without the
+// marker text becoming its reason.
+package badann
+
+// noReason: a bare annotation is void — it suppresses nothing and is itself
+// reported.
+func noReason(m map[string]int) int {
+	//coda:ordered-ok
+	for k := range m { // sentinel: loop-after-bare
+		return len(k)
+	}
+	return 0
+}
+
+// stacked: two annotations in a row are ambiguous; the upper one is reported
+// and only the lower one suppresses.
+func stacked(m map[string]int) int {
+	//coda:ordered-ok sentinel: the upper annotation
+	//coda:ordered-ok sentinel: the lower annotation carries the real reason
+	for k := range m {
+		return len(k)
+	}
+	return 0
+}
+
+// wrongLine: the annotation drifted two lines above the loop, so it covers
+// nothing — the loop is reported, and so is the annotation.
+func wrongLine(m map[string]int) int {
+	//coda:ordered-ok sentinel: drifted annotation
+
+	for k := range m { // sentinel: loop-after-drift
+		return len(k)
+	}
+	return 0
+}

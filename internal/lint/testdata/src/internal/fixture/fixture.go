@@ -23,11 +23,6 @@ func counters(m map[string]int) []string {
 		keys = append(keys, k)
 	}
 
-	//coda:ordered-ok
-	for k := range m { // want "ordered-map-iteration"
-		keys = append(keys, k) // the bare annotation above has no reason and is void
-	}
-
 	total := 0
 	for _, v := range m { // integer accumulation commutes: no finding
 		total += v

@@ -1,0 +1,95 @@
+// Package store seeds checkpoint-completeness violations. Good round-trips
+// every field; Drop forgets one in the encoder, Orphan forgets one in the
+// decoder, and Solo has an encoder with no decoder at all.
+package store
+
+import "encoding/json"
+
+// Good round-trips every field: no findings.
+type Good struct{ a, b int }
+
+type goodState struct {
+	A int
+	B int
+}
+
+// CheckpointState encodes both fields.
+func (g *Good) CheckpointState() ([]byte, error) {
+	return json.Marshal(goodState{A: g.a, B: g.b})
+}
+
+// RestoreCheckpoint decodes both fields.
+func (g *Good) RestoreCheckpoint(data []byte) error {
+	var st goodState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	g.a = st.A
+	g.b = st.B
+	return nil
+}
+
+// Drop's encoder forgets Dropped: the field would arrive zero-valued after
+// every resume. The encoder also delegates to a same-package helper, so the
+// pass must follow the encode closure, not just the method body.
+type Drop struct{ a, d int }
+
+type dropState struct {
+	A       int
+	Dropped int // want "checkpoint-complete"
+}
+
+// CheckpointState builds the state through a helper and never sets Dropped.
+func (x *Drop) CheckpointState() ([]byte, error) {
+	st := dropState{}
+	fillA(&st, x.a)
+	return json.Marshal(st)
+}
+
+func fillA(st *dropState, a int) { st.A = a }
+
+// RestoreCheckpoint reads both fields.
+func (x *Drop) RestoreCheckpoint(data []byte) error {
+	var st dropState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	x.a = st.A
+	x.d = st.Dropped
+	return nil
+}
+
+// Orphan's decoder forgets Leak: the encoder persists it, the decoder
+// silently drops it.
+type Orphan struct{ a, l int }
+
+type orphanState struct {
+	A    int
+	Leak int // want "checkpoint-complete"
+}
+
+// CheckpointState encodes both fields.
+func (o *Orphan) CheckpointState() ([]byte, error) {
+	return json.Marshal(orphanState{A: o.a, Leak: o.l})
+}
+
+// RestoreCheckpoint reads only A.
+func (o *Orphan) RestoreCheckpoint(data []byte) error {
+	var st orphanState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	o.a = st.A
+	return nil
+}
+
+// Solo has an encoder and no decoder anywhere in the package: write-only
+// checkpoint state.
+type Solo struct{ a int }
+
+type soloState struct{ A int }
+
+// CheckpointState persists state nothing can restore.
+func (s *Solo) CheckpointState() ([]byte, error) { // want "checkpoint-complete"
+	return json.Marshal(soloState{A: s.a})
+}

@@ -1,0 +1,6 @@
+// Package base is the bottom layer of the layering fixture: it may import
+// nothing from the module.
+package base
+
+// N is a leaf helper.
+func N() int { return 1 }

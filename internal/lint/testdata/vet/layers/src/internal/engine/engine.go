@@ -1,0 +1,14 @@
+// Package engine sits in the middle layer and violates the spec twice: it
+// imports a denied stdlib package and reaches up into the orchestration
+// layer above it.
+package engine
+
+import (
+	"os" // want "import-layering"
+
+	"example.com/layers/internal/base"
+	"example.com/layers/internal/orch" // want "import-layering"
+)
+
+// Use exercises every import so the file type-checks.
+func Use() int { return base.N() + orch.M() + len(os.Args) }

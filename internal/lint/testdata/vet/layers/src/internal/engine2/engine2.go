@@ -1,0 +1,8 @@
+// Package engine2 shares engine's layer and imports it sideways: intra-layer
+// imports are forbidden even between packages of the same layer.
+package engine2
+
+import "example.com/layers/internal/engine" // want "import-layering"
+
+// U delegates sideways, which the spec forbids.
+func U() int { return engine.Use() }

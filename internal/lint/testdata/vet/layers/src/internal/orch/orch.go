@@ -1,0 +1,8 @@
+// Package orch is the top layer: importing base is allowed, so this file is
+// clean.
+package orch
+
+import "example.com/layers/internal/base"
+
+// M delegates downward, which the spec permits.
+func M() int { return base.N() }

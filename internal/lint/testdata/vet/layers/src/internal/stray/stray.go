@@ -1,0 +1,6 @@
+// Package stray is assigned to no layer: the spec must reject uncovered
+// packages instead of silently skipping them.
+package stray // want "import-layering"
+
+// S exists so the package is non-empty.
+func S() int { return 0 }

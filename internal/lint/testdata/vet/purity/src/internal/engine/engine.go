@@ -1,0 +1,51 @@
+// Package engine is the purity fixture's root package: every function here,
+// and everything transitively reachable, must be pure. The impurities live
+// in internal/util, several calls deep, so every finding must carry the
+// witness chain from a function in this package to the sink line.
+package engine
+
+import "example.com/vet/internal/util"
+
+// Run drives the fixture event loop through a helper chain that ends at a
+// wall-clock read three calls deep.
+func Run() int { return step() }
+
+func step() int { return util.Tick() }
+
+// Spawn reaches a goroutine spawn hidden in a helper.
+func Spawn() { util.Fork() }
+
+// Draw reaches the global rand stream through a helper.
+func Draw() int { return util.Draw() }
+
+// Env reaches the host environment through a helper.
+func Env() string { return util.Env() }
+
+// MethodValue takes a method value and calls it later: the reference alone
+// must create the reachability edge, even though the call site is opaque.
+func MethodValue() int {
+	var c util.Clock
+	f := c.Read
+	return f()
+}
+
+// Ticker is a module-declared interface; calls through it must dispatch
+// conservatively over every module implementation.
+type Ticker interface{ Tick() int }
+
+// Dispatch reaches util.BadTicker.Tick only via interface dispatch.
+func Dispatch(t Ticker) int { return t.Tick() }
+
+// hooks carries a function-typed field; storing an impure function into it
+// must create the edge at the storage site.
+type hooks struct{ fn func() string }
+
+// FieldCall stores util.Env2 into a func-typed field and calls it through
+// the field.
+func FieldCall() string {
+	h := hooks{fn: util.Env2}
+	return h.fn()
+}
+
+// Pure is the control: pure helpers produce no findings.
+func Pure() int { return util.Add(1, 2) }

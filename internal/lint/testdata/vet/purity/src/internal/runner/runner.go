@@ -1,0 +1,10 @@
+// Package runner is the fixture's exempt package: impure on purpose, and it
+// must stay silent — it is outside the proof and outside the call graph.
+package runner
+
+import "os"
+
+// Hammer does everything the engine must never do.
+func Hammer() {
+	go func() { _ = os.Getenv("HOME") }()
+}

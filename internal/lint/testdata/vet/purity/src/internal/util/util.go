@@ -1,0 +1,64 @@
+// Package util holds helpers reachable from the engine fixture — some pure,
+// some not. Purity findings anchor at the sink lines in this file; each
+// carries the witness chain from the engine root that reached it.
+package util
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Tick -> clock -> time.Now is the three-deep wall-clock chain.
+func Tick() int { return clock() }
+
+func clock() int {
+	return int(time.Now().UnixNano()) // want "transitive-purity"
+}
+
+// Fork spawns a goroutine.
+func Fork() {
+	go func() {}() // want "transitive-purity"
+}
+
+// Draw uses the global rand stream.
+func Draw() int {
+	return rand.Intn(10) // want "transitive-purity"
+}
+
+// Env touches the host environment.
+func Env() string {
+	return os.Getenv("HOME") // want "transitive-purity"
+}
+
+// Env2 is reached only through a func-typed struct field in the engine.
+func Env2() string {
+	return os.Getenv("PATH") // want "transitive-purity"
+}
+
+// Clock.Read is reached only as a method value.
+type Clock struct{}
+
+// Read observes the wall clock.
+func (Clock) Read() int {
+	return int(time.Since(time.Time{})) // want "transitive-purity"
+}
+
+// GoodTicker implements engine.Ticker purely: dispatch reaches it too, but
+// there is nothing to report.
+type GoodTicker struct{}
+
+// Tick is pure.
+func (GoodTicker) Tick() int { return 1 }
+
+// BadTicker implements engine.Ticker impurely: it is reachable only through
+// conservative interface dispatch.
+type BadTicker struct{}
+
+// Tick observes the wall clock.
+func (BadTicker) Tick() int {
+	return int(time.Now().Unix()) // want "transitive-purity"
+}
+
+// Add is pure.
+func Add(a, b int) int { return a + b }

@@ -333,7 +333,6 @@ func (s *Simulator) fragRate() float64 {
 			return true
 		}
 		servable := false
-		//coda:ordered-ok any-match probe; the outcome is independent of visit order
 		for g, cores := range minCores {
 			if g <= freeG && cores <= n.FreeCores() {
 				servable = true
