@@ -276,6 +276,82 @@ func (p Plan) Validate(nodes int) error {
 			return fmt.Errorf("chaos: fixed fault %d has unknown kind %v", i, f.Kind)
 		}
 	}
+	return p.validateFixedWindows()
+}
+
+// validateFixedWindows replays the fixed faults in schedule order (stable
+// sort by At, exactly as Compile orders them) and rejects end events that
+// close no open window on their node: a recover with no prior crash, an
+// undrain with no drain, a telemetry restore with no dark window, and a
+// straggler end whose factor matches no open straggler start. The engine
+// tolerates such events at runtime by ignoring them, which silently turns a
+// mis-specified plan into a weaker one — the soak builder would rather hear
+// about it. Unpaired STARTS stay legal: an unpaired crash models a node
+// that never comes back. Rate-generated windows are outside this check; the
+// engine composes overlapping fixed and rate windows with per-node depth
+// counters, so that combination is valid by design.
+func (p Plan) validateFixedWindows() error {
+	idx := make([]int, len(p.Faults))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return p.Faults[idx[a]].At < p.Faults[idx[b]].At })
+	type windows struct {
+		crash, drain, dark int
+		slow               []float64
+	}
+	open := make(map[int]*windows)
+	at := func(n int) *windows {
+		w := open[n]
+		if w == nil {
+			w = &windows{}
+			open[n] = w
+		}
+		return w
+	}
+	for _, i := range idx {
+		f := p.Faults[i]
+		w := at(f.Node)
+		switch f.Kind {
+		case KindNodeCrash:
+			w.crash++
+		case KindNodeRecover:
+			if w.crash == 0 {
+				return fmt.Errorf("chaos: fixed fault %d recovers node %d at %v with no open crash window", i, f.Node, f.At)
+			}
+			w.crash--
+		case KindNodeDrain:
+			w.drain++
+		case KindNodeUndrain:
+			if w.drain == 0 {
+				return fmt.Errorf("chaos: fixed fault %d undrains node %d at %v with no open drain window", i, f.Node, f.At)
+			}
+			w.drain--
+		case KindMembwDark:
+			w.dark++
+		case KindMembwRestore:
+			if w.dark == 0 {
+				return fmt.Errorf("chaos: fixed fault %d restores telemetry on node %d at %v with no open dark window", i, f.Node, f.At)
+			}
+			w.dark--
+		case KindStragglerStart:
+			w.slow = append(w.slow, f.Factor)
+		case KindStragglerEnd:
+			closed := false
+			for j, factor := range w.slow {
+				//coda:ordered-ok straggler ends match the factor stored verbatim at start, same as the engine
+				if factor == f.Factor {
+					w.slow = append(w.slow[:j], w.slow[j+1:]...)
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				return fmt.Errorf("chaos: fixed fault %d ends a straggler with factor %g on node %d at %v, but no open straggler window has that factor",
+					i, f.Factor, f.Node, f.At)
+			}
+		}
+	}
 	return nil
 }
 

@@ -70,6 +70,26 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 		{"fault on unknown node", Plan{Faults: []Fault{{Kind: KindNodeCrash, Node: 99}}}},
 		{"fault with unknown kind", Plan{Faults: []Fault{{Kind: Kind(42)}}}},
 		{"straggler fault without factor", Plan{Faults: []Fault{{Kind: KindStragglerStart}}}},
+		{"recover without crash", Plan{Faults: []Fault{{At: time.Hour, Kind: KindNodeRecover, Node: 1}}}},
+		{"undrain without drain", Plan{Faults: []Fault{{At: time.Hour, Kind: KindNodeUndrain, Node: 0}}}},
+		{"restore without dark window", Plan{Faults: []Fault{{At: time.Hour, Kind: KindMembwRestore, Node: 2}}}},
+		{"recover before the crash", Plan{Faults: []Fault{
+			{At: 2 * time.Hour, Kind: KindNodeCrash, Node: 1},
+			{At: time.Hour, Kind: KindNodeRecover, Node: 1},
+		}}},
+		{"recover on the wrong node", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindNodeCrash, Node: 1},
+			{At: 2 * time.Hour, Kind: KindNodeRecover, Node: 2},
+		}}},
+		{"double recover for one crash", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindNodeCrash, Node: 1},
+			{At: 2 * time.Hour, Kind: KindNodeRecover, Node: 1},
+			{At: 3 * time.Hour, Kind: KindNodeRecover, Node: 1},
+		}}},
+		{"straggler end with mismatched factor", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindStragglerStart, Node: 0, Factor: 0.5},
+			{At: 2 * time.Hour, Kind: KindStragglerEnd, Node: 0, Factor: 0.25},
+		}}},
 	}
 	for _, tc := range cases {
 		if err := tc.p.Validate(4); err == nil {
@@ -78,6 +98,97 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 	}
 	if err := (Plan{}).Validate(0); err == nil {
 		t.Error("Validate accepted a zero-node cluster")
+	}
+}
+
+// TestValidateAcceptsWindowShapes: legal window shapes must keep validating —
+// unpaired starts (a node that never comes back), nested and interleaved
+// windows of different classes on one node, and same-time pairs in
+// declaration order.
+func TestValidateAcceptsWindowShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+	}{
+		{"unpaired crash", Plan{Faults: []Fault{{At: time.Hour, Kind: KindNodeCrash, Node: 1}}}},
+		{"crash then recover", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindNodeCrash, Node: 1},
+			{At: 2 * time.Hour, Kind: KindNodeRecover, Node: 1},
+		}}},
+		{"interleaved classes on one node", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindNodeDrain, Node: 0},
+			{At: 90 * time.Minute, Kind: KindMembwDark, Node: 0},
+			{At: 2 * time.Hour, Kind: KindNodeUndrain, Node: 0},
+			{At: 3 * time.Hour, Kind: KindMembwRestore, Node: 0},
+		}}},
+		{"nested crash windows", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindNodeCrash, Node: 2},
+			{At: 2 * time.Hour, Kind: KindNodeCrash, Node: 2},
+			{At: 3 * time.Hour, Kind: KindNodeRecover, Node: 2},
+			{At: 4 * time.Hour, Kind: KindNodeRecover, Node: 2},
+		}}},
+		{"same-time pair in declaration order", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindNodeCrash, Node: 3},
+			{At: time.Hour, Kind: KindNodeRecover, Node: 3},
+		}}},
+		{"distinct straggler factors close independently", Plan{Faults: []Fault{
+			{At: time.Hour, Kind: KindStragglerStart, Node: 0, Factor: 0.5},
+			{At: 90 * time.Minute, Kind: KindStragglerStart, Node: 0, Factor: 0.25},
+			{At: 2 * time.Hour, Kind: KindStragglerEnd, Node: 0, Factor: 0.25},
+			{At: 3 * time.Hour, Kind: KindStragglerEnd, Node: 0, Factor: 0.5},
+		}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(4); err != nil {
+			t.Errorf("%s: Validate rejected a legal plan: %v", tc.name, err)
+		}
+	}
+}
+
+// TestValidateFixedPlusRateSameWindow: a fixed crash window and rate-based
+// crash generation over the same node and time range is a legal, meaningful
+// plan (the engine composes overlap with per-node depth counters), and it
+// must compile deterministically with the fixed pair preserved verbatim.
+func TestValidateFixedPlusRateSameWindow(t *testing.T) {
+	p := Plan{
+		Seed:              7,
+		Horizon:           24 * time.Hour,
+		NodeCrashesPerDay: 8,
+		CrashDowntime:     2 * time.Hour,
+		Faults: []Fault{
+			{At: 6 * time.Hour, Kind: KindNodeCrash, Node: 0},
+			{At: 9 * time.Hour, Kind: KindNodeRecover, Node: 0},
+		},
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("Validate rejected fixed+rate overlap: %v", err)
+	}
+	a, err := p.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fixed+rate plan compiled to different schedules")
+	}
+	var fixedCrash, fixedRecover bool
+	for _, f := range a {
+		if f.At == 6*time.Hour && f.Kind == KindNodeCrash && f.Node == 0 {
+			fixedCrash = true
+		}
+		if f.At == 9*time.Hour && f.Kind == KindNodeRecover && f.Node == 0 {
+			fixedRecover = true
+		}
+	}
+	if !fixedCrash || !fixedRecover {
+		t.Fatalf("fixed pair missing from compiled schedule (crash=%v recover=%v)", fixedCrash, fixedRecover)
+	}
+	// The rate must have contributed its own events on top of the fixed pair.
+	if len(a) <= 2 {
+		t.Fatalf("expected rate-generated faults on top of the fixed pair, got %d total", len(a))
 	}
 }
 

@@ -133,6 +133,14 @@ func DefaultLayers() []Layer {
 			DenyStd:  []string{"os", "net", "syscall"},
 		},
 		{
+			// The soak harness: recipes composing engine runs through the
+			// runner, still host-free — the coda-soak CLI owns all I/O.
+			Name:     "soak",
+			Packages: []string{"internal/soak"},
+			Allow:    []string{"base", "domain", "persist", "sched", "policy", "engine", "runner"},
+			DenyStd:  engineDeny,
+		},
+		{
 			Name:     "tooling",
 			Packages: []string{"internal/lint"},
 			DenyStd:  []string{"net", "sync", "syscall"},
@@ -148,7 +156,7 @@ func DefaultLayers() []Layer {
 			Packages: []string{"cmd/"},
 			Allow: []string{
 				"base", "domain", "atomicio", "persist", "sched",
-				"policy", "engine", "runner", "tooling", "apps",
+				"policy", "engine", "runner", "soak", "tooling", "apps",
 			},
 		},
 	}

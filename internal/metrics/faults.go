@@ -1,6 +1,9 @@
 package metrics
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // FaultCounters aggregates what the chaos layer did to a run and how the
 // system absorbed it. The zero value (all counters zero) is what every
@@ -33,6 +36,60 @@ type FaultCounters struct {
 
 // Any reports whether any fault activity was recorded.
 func (c FaultCounters) Any() bool { return c != (FaultCounters{}) }
+
+// Sane checks the cross-counter invariants every well-formed run satisfies,
+// regardless of seed or fault mix. A violation means the chaos layer and the
+// engine disagree about what happened — the soak harness treats that as a
+// failed verdict even when every performance condition passes.
+func (c FaultCounters) Sane() error {
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"NodeCrashes", c.NodeCrashes},
+		{"NodeRecoveries", c.NodeRecoveries},
+		{"MembwDropouts", c.MembwDropouts},
+		{"Stragglers", c.Stragglers},
+		{"JobKills", c.JobKills},
+		{"JobFailures", c.JobFailures},
+		{"Requeues", c.Requeues},
+		{"TerminalFailures", c.TerminalFailures},
+		{"DegradedSamples", c.DegradedSamples},
+		{"ControllerKills", c.ControllerKills},
+	} {
+		if f.value < 0 {
+			return fmt.Errorf("fault counters: %s is negative (%d)", f.name, f.value)
+		}
+	}
+	if c.GoodputLost < 0 {
+		return fmt.Errorf("fault counters: GoodputLost is negative (%s)", c.GoodputLost)
+	}
+	// Every recovery closes a crash window; a node cannot come back up more
+	// often than it went down.
+	if c.NodeRecoveries > c.NodeCrashes {
+		return fmt.Errorf("fault counters: %d recoveries exceed %d crashes", c.NodeRecoveries, c.NodeCrashes)
+	}
+	// Injected failures are the subset of kills flagged by JobFailureProb.
+	if c.JobFailures > c.JobKills {
+		return fmt.Errorf("fault counters: %d injected failures exceed %d kills", c.JobFailures, c.JobKills)
+	}
+	// Every killed attempt is either requeued or terminally failed (never
+	// both, never neither).
+	if c.Requeues+c.TerminalFailures > c.JobKills {
+		return fmt.Errorf("fault counters: %d requeues + %d terminal failures exceed %d kills",
+			c.Requeues, c.TerminalFailures, c.JobKills)
+	}
+	// Degraded samples only accrue inside telemetry dark windows.
+	if c.DegradedSamples > 0 && c.MembwDropouts == 0 {
+		return fmt.Errorf("fault counters: %d degraded samples with no dark windows", c.DegradedSamples)
+	}
+	// Lost goodput is attempt progress destroyed by a kill; it cannot appear
+	// without one.
+	if c.GoodputLost > 0 && c.JobKills == 0 {
+		return fmt.Errorf("fault counters: %s goodput lost with no job kills", c.GoodputLost)
+	}
+	return nil
+}
 
 // Add accumulates another run's counters (for sweep aggregation).
 func (c *FaultCounters) Add(o FaultCounters) {

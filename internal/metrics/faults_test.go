@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultCountersSane(t *testing.T) {
+	// A representative healthy counter set: crashes with recoveries still
+	// pending, kills split across requeues and terminal failures, degraded
+	// samples inside dark windows, goodput lost to kills.
+	good := FaultCounters{
+		NodeCrashes:      5,
+		NodeRecoveries:   4,
+		MembwDropouts:    2,
+		Stragglers:       3,
+		JobKills:         10,
+		JobFailures:      4,
+		Requeues:         8,
+		TerminalFailures: 2,
+		DegradedSamples:  120,
+		ControllerKills:  1,
+		GoodputLost:      3 * time.Hour,
+	}
+	if err := good.Sane(); err != nil {
+		t.Fatalf("Sane rejected healthy counters: %v", err)
+	}
+	if err := (FaultCounters{}).Sane(); err != nil {
+		t.Fatalf("Sane rejected the zero value: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*FaultCounters)
+		want string
+	}{
+		{"negative counter", func(c *FaultCounters) { c.Stragglers = -1 }, "negative"},
+		{"negative goodput", func(c *FaultCounters) { c.GoodputLost = -time.Second }, "negative"},
+		{"recoveries exceed crashes", func(c *FaultCounters) { c.NodeRecoveries = 6 }, "recoveries exceed"},
+		{"failures exceed kills", func(c *FaultCounters) { c.JobFailures = 11 }, "failures exceed"},
+		{"dispositions exceed kills", func(c *FaultCounters) { c.Requeues = 9 }, "exceed 10 kills"},
+		{"degraded without dark", func(c *FaultCounters) { c.MembwDropouts = 0 }, "no dark windows"},
+		{"goodput lost without kills", func(c *FaultCounters) {
+			c.JobKills, c.JobFailures, c.Requeues, c.TerminalFailures = 0, 0, 0, 0
+		}, "no job kills"},
+	}
+	for _, tc := range cases {
+		c := good
+		tc.mut(&c)
+		err := c.Sane()
+		if err == nil {
+			t.Errorf("%s: Sane accepted %+v", tc.name, c)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -99,15 +99,55 @@ func (o Options) workers(n int) int {
 // error if it was cancelled. On error the result slice is still returned,
 // with a nil entry for every cell that failed or never started.
 func Run(ctx context.Context, m *Matrix, opts Options) ([]*sim.Result, error) {
+	results, errs, ctxErr := execute(ctx, m, opts, true)
+
+	// Aggregate in matrix order so the joined error is deterministic.
+	var failures []error
+	for _, err := range errs {
+		if err != nil {
+			failures = append(failures, err)
+		}
+	}
+	if len(failures) > 0 {
+		return results, errors.Join(failures...)
+	}
+	// No run failed, yet the context is done: the caller cancelled us.
+	return results, ctxErr
+}
+
+// RunAll executes every cell like Run but never fails fast: one cell's
+// error does not stop the others, and per-cell outcomes come back as
+// parallel slices — results[i] and errs[i] are mutually exclusive for each
+// cell i. Only a caller-side context cancellation stops the matrix early; a
+// cell that never started because of it carries the context's error. The
+// soak harness uses this so one broken recipe still yields verdicts for the
+// rest of the grid.
+func RunAll(ctx context.Context, m *Matrix, opts Options) ([]*sim.Result, []error) {
+	results, errs, ctxErr := execute(ctx, m, opts, false)
+	if ctxErr != nil {
+		for i := range errs {
+			if results[i] == nil && errs[i] == nil {
+				errs[i] = fmt.Errorf("run %q: %w", m.specs[i].Name, ctxErr)
+			}
+		}
+	}
+	return results, errs
+}
+
+// execute is the shared worker pool behind Run and RunAll. It returns
+// per-cell results and errors in matrix order plus the context's final
+// error. With failFast set, the first cell error cancels the feed (matching
+// Run's contract); otherwise every cell is attempted.
+func execute(ctx context.Context, m *Matrix, opts Options, failFast bool) ([]*sim.Result, []error, error) {
 	n := m.Len()
 	results := make([]*sim.Result, n)
-	if n == 0 {
-		return results, ctx.Err()
-	}
 	errs := make([]error, n)
+	if n == 0 {
+		return results, errs, ctx.Err()
+	}
 
-	// Workers pull cell indices from a channel. A dedicated cancel lets the
-	// first failure stop the feed without affecting the caller's context.
+	// Workers pull cell indices from a channel. A dedicated cancel lets a
+	// fail-fast failure stop the feed without affecting the caller's context.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -126,7 +166,9 @@ func Run(ctx context.Context, m *Matrix, opts Options) ([]*sim.Result, error) {
 				res, err := m.specs[i].Run()
 				if err != nil {
 					errs[i] = fmt.Errorf("run %q: %w", m.specs[i].Name, err)
-					cancel()
+					if failFast {
+						cancel()
+					}
 					continue
 				}
 				results[i] = res
@@ -144,17 +186,5 @@ feed:
 	}
 	close(indices)
 	wg.Wait()
-
-	// Aggregate in matrix order so the joined error is deterministic.
-	var failures []error
-	for _, err := range errs {
-		if err != nil {
-			failures = append(failures, err)
-		}
-	}
-	if len(failures) > 0 {
-		return results, errors.Join(failures...)
-	}
-	// No run failed, yet the context is done: the caller cancelled us.
-	return results, ctx.Err()
+	return results, errs, ctx.Err()
 }

@@ -185,6 +185,71 @@ func TestRunCancelledContext(t *testing.T) {
 	}
 }
 
+// TestRunAllKeepsGoing: a failing cell in the middle of the matrix does not
+// stop the surrounding cells — every cell gets either a result or an error,
+// never both, and failures stay at their matrix index.
+func TestRunAllKeepsGoing(t *testing.T) {
+	m := &runner.Matrix{}
+	m.Add(codaSpec(t))
+	m.Add(failingSpec(t, "bad"))
+	m.Add(codaSpec(t))
+	results, errs := runner.RunAll(context.Background(), m, runner.Options{Parallel: 1})
+	if len(results) != 3 || len(errs) != 3 {
+		t.Fatalf("got %d results / %d errors, want 3 / 3", len(results), len(errs))
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Errorf("cell %d unexpectedly failed: %v", i, errs[i])
+		}
+		if results[i] == nil {
+			t.Errorf("cell %d has no result despite the matrix continuing past the failure", i)
+		}
+	}
+	if errs[1] == nil || results[1] != nil {
+		t.Fatalf("failing cell: result=%v err=%v, want nil result and an error", results[1], errs[1])
+	}
+	if !strings.Contains(errs[1].Error(), `run "bad"`) || !strings.Contains(errs[1].Error(), "boom: bad") {
+		t.Errorf("error does not identify the failed cell: %v", errs[1])
+	}
+}
+
+// TestRunAllMatchesRun: on an all-healthy matrix, RunAll produces the same
+// byte-identical results as Run.
+func TestRunAllMatchesRun(t *testing.T) {
+	seq, err := runner.Run(context.Background(), seedMatrix(t, goldenSeeds), runner.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, errs := runner.RunAll(context.Background(), seedMatrix(t, goldenSeeds), runner.Options{Parallel: 8})
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("cell %d failed: %v", i, e)
+		}
+	}
+	for i := range seq {
+		a, b := sim.DumpResult(seq[i]), sim.DumpResult(all[i])
+		if a != b {
+			t.Fatalf("seed %d: RunAll diverged from Run at %s", goldenSeeds[i], sim.FirstDiff(a, b))
+		}
+	}
+}
+
+// TestRunAllCancelledContext: a pre-cancelled context marks every cell with
+// the context's error instead of leaving silent nil/nil holes.
+func TestRunAllCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, errs := runner.RunAll(ctx, seedMatrix(t, goldenSeeds), runner.Options{Parallel: 2})
+	for i := range results {
+		if results[i] != nil {
+			t.Errorf("cell %d ran despite pre-cancelled context", i)
+		}
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("cell %d error = %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
 // TestRunEmptyMatrix: an empty matrix succeeds with no results.
 func TestRunEmptyMatrix(t *testing.T) {
 	results, err := runner.Run(context.Background(), &runner.Matrix{}, runner.Options{})

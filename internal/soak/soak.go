@@ -1,0 +1,306 @@
+// Package soak turns the repository's chaos machinery into named,
+// repeatable month-scale scenarios with machine-checked verdicts. A Recipe
+// is a description of a hostile world — a composed chaos.Plan plus the
+// trace and cluster shape it runs against — and a list of declarative
+// Conditions evaluated against the sim.Result: goodput floors, queueing-
+// time ceilings, fault-counter sanity, invariants-clean, and a resume-
+// equivalence spot check that replays the run through mid-run controller
+// kills and proves byte-identity via sim.FirstDiff. RunMatrix fans the
+// recipe × seed grid through internal/runner and reports verdicts in
+// matrix order, so the same grid always produces the same report bytes.
+//
+// The package is deliberately below cmd in the layer spec and free of
+// os/sync/wall-clock use: everything host-facing (flags, JSON encoding to
+// stdout, exit codes) lives in cmd/coda-soak.
+package soak
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/coda-repro/coda/internal/sim"
+)
+
+// Scale sizes a recipe: how long the simulated month-analog lasts and how
+// big the cluster and trace are. Recipes express their fault schedules as
+// fractions of the scale's duration, so one recipe definition works at
+// every scale.
+type Scale struct {
+	// Name is the preset name ("tiny", "small", "full").
+	Name string `json:"name"`
+	// Days is the trace duration in simulated days.
+	Days float64 `json:"days"`
+	// CPUJobs and GPUJobs size the generated trace.
+	CPUJobs int `json:"cpuJobs"`
+	GPUJobs int `json:"gpuJobs"`
+	// Nodes is the GPU-node count of the simulated cluster.
+	Nodes int `json:"nodes"`
+}
+
+// The scale presets. Tiny is sized for CI under -race: half a simulated
+// day on a 16-node cluster. Full is the paper-shaped month on the 80-node
+// cluster, matching trace.DefaultConfig.
+func TinyScale() Scale  { return Scale{Name: "tiny", Days: 0.5, CPUJobs: 300, GPUJobs: 100, Nodes: 16} }
+func SmallScale() Scale { return Scale{Name: "small", Days: 3, CPUJobs: 7500, GPUJobs: 2500, Nodes: 80} }
+func FullScale() Scale  { return Scale{Name: "full", Days: 30, CPUJobs: 75000, GPUJobs: 25000, Nodes: 80} }
+
+// ParseScale resolves a preset name.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return TinyScale(), nil
+	case "small":
+		return SmallScale(), nil
+	case "full":
+		return FullScale(), nil
+	}
+	return Scale{}, fmt.Errorf("soak: unknown scale %q (want tiny, small or full)", name)
+}
+
+// Validate rejects degenerate scales before any trace generation happens.
+func (sc Scale) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("soak: scale has no name")
+	}
+	if math.IsNaN(sc.Days) || math.IsInf(sc.Days, 0) || sc.Days <= 0 {
+		return fmt.Errorf("soak: scale %q duration %g days must be finite and positive", sc.Name, sc.Days)
+	}
+	if sc.CPUJobs < 0 || sc.GPUJobs < 0 {
+		return fmt.Errorf("soak: scale %q has negative job counts (%d cpu, %d gpu)", sc.Name, sc.CPUJobs, sc.GPUJobs)
+	}
+	if sc.CPUJobs+sc.GPUJobs == 0 {
+		return fmt.Errorf("soak: scale %q generates no jobs", sc.Name)
+	}
+	if sc.Nodes <= 0 {
+		return fmt.Errorf("soak: scale %q node count %d must be positive", sc.Name, sc.Nodes)
+	}
+	return nil
+}
+
+// Duration converts the scale's day count to simulated time.
+func (sc Scale) Duration() time.Duration {
+	return time.Duration(sc.Days * float64(24*time.Hour))
+}
+
+// CheckKind names one verdict check. Every check reduces the run to a
+// single float64 measurement and compares it against the condition's
+// threshold: floor checks pass when measured >= threshold, ceiling checks
+// when measured <= threshold. Boolean checks (sanity, invariants) measure
+// 1 for healthy and 0 otherwise, so "check=1" demands health.
+type CheckKind string
+
+const (
+	// CheckCompletionFloor measures the fraction of generated jobs that
+	// completed (terminally failed and never-finished jobs both count
+	// against it).
+	CheckCompletionFloor CheckKind = "completion-floor"
+	// CheckQueueP99Ceiling measures the p99 GPU queueing time in seconds.
+	// Absolute ceilings only make sense at one known scale; recipes use the
+	// ratio form below so one threshold holds from tiny to full.
+	CheckQueueP99Ceiling CheckKind = "queue-p99-ceiling"
+	// CheckQueueP99RatioCeiling measures the p99 GPU queueing time as a
+	// fraction of the trace window (LastArrival): 0.1 means the slowest
+	// percentile waited a tenth of the run. Scale-invariant by
+	// construction, so recipes can pin one threshold for every preset.
+	CheckQueueP99RatioCeiling CheckKind = "queue-p99-ratio-ceiling"
+	// CheckTerminalFailureRatioCeiling measures terminally-failed jobs as a
+	// fraction of all generated jobs.
+	CheckTerminalFailureRatioCeiling CheckKind = "terminal-failure-ratio-ceiling"
+	// CheckFaultCountersSane measures 1 when the run's fault counters pass
+	// metrics.FaultCounters.Sane, 0 otherwise.
+	CheckFaultCountersSane CheckKind = "fault-counters-sane"
+	// CheckInvariantsClean measures 1 when the run executed with the
+	// always-on invariant checker enabled (a violation would have failed
+	// the run outright), 0 when invariants were off.
+	CheckInvariantsClean CheckKind = "invariants-clean"
+	// CheckNodeCrashesFloor measures the injected node-crash count — a
+	// chaos recipe that injected nothing proves nothing.
+	CheckNodeCrashesFloor CheckKind = "node-crashes-floor"
+	// CheckStragglersFloor measures the injected straggler-window count.
+	CheckStragglersFloor CheckKind = "stragglers-floor"
+	// CheckDegradedSamplesFloor measures samples taken while bandwidth
+	// telemetry was dark — the eliminator's degraded-mode exposure.
+	CheckDegradedSamplesFloor CheckKind = "degraded-samples-floor"
+	// CheckControllerKillsFloor measures injected controller kills.
+	CheckControllerKillsFloor CheckKind = "controller-kills-floor"
+	// CheckResumeEquivalence replays the whole run with ExitOnControllerKill
+	// set, restarting from the latest checkpoint after each kill, and
+	// measures the number of controller deaths survived. It fails unless
+	// the replayed result is byte-identical to the uninterrupted run
+	// (proven via sim.FirstDiff) AND at least threshold kills were
+	// survived, so a kill-free run cannot vacuously pass.
+	CheckResumeEquivalence CheckKind = "resume-equivalence"
+)
+
+// checkInfo is the per-check metadata: direction and threshold domain.
+type checkInfo struct {
+	kind    CheckKind
+	ceiling bool // pass when measured <= threshold; otherwise >= threshold
+	ratio   bool // threshold must lie in [0, 1]
+}
+
+// checkTable fixes the canonical check order (used by listings); lookups
+// go through checkByName.
+var checkTable = []checkInfo{
+	{kind: CheckCompletionFloor, ratio: true},
+	{kind: CheckQueueP99Ceiling, ceiling: true},
+	{kind: CheckQueueP99RatioCeiling, ceiling: true},
+	{kind: CheckTerminalFailureRatioCeiling, ceiling: true, ratio: true},
+	{kind: CheckFaultCountersSane},
+	{kind: CheckInvariantsClean},
+	{kind: CheckNodeCrashesFloor},
+	{kind: CheckStragglersFloor},
+	{kind: CheckDegradedSamplesFloor},
+	{kind: CheckControllerKillsFloor},
+	{kind: CheckResumeEquivalence},
+}
+
+var checkByName = func() map[CheckKind]checkInfo {
+	m := make(map[CheckKind]checkInfo, len(checkTable))
+	for _, ci := range checkTable {
+		m[ci.kind] = ci
+	}
+	return m
+}()
+
+// CheckKinds lists every known check in canonical order.
+func CheckKinds() []CheckKind {
+	out := make([]CheckKind, len(checkTable))
+	for i, ci := range checkTable {
+		out[i] = ci.kind
+	}
+	return out
+}
+
+// Condition is one declarative pass/fail criterion: a check plus its
+// threshold. Conditions serialize as "check=threshold" (the CLI's
+// -conditions syntax) and round-trip through ParseCondition.
+type Condition struct {
+	Check     CheckKind `json:"check"`
+	Threshold float64   `json:"threshold"`
+}
+
+// String renders the condition in ParseCondition syntax.
+func (c Condition) String() string {
+	return string(c.Check) + "=" + strconv.FormatFloat(c.Threshold, 'g', -1, 64)
+}
+
+// Validate rejects unknown checks and out-of-domain thresholds. NaN and
+// infinite thresholds are always rejected: a NaN floor silently passes
+// nothing and a NaN ceiling everything, which is exactly the kind of
+// self-disarming config a soak wall must refuse to load.
+func (c Condition) Validate() error {
+	ci, ok := checkByName[c.Check]
+	if !ok {
+		return fmt.Errorf("soak: unknown check %q (known: %s)", c.Check, knownChecks())
+	}
+	if math.IsNaN(c.Threshold) || math.IsInf(c.Threshold, 0) {
+		return fmt.Errorf("soak: condition %s: threshold must be finite, got %g", c.Check, c.Threshold)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("soak: condition %s: threshold must be non-negative, got %g", c.Check, c.Threshold)
+	}
+	if ci.ratio && c.Threshold > 1 {
+		return fmt.Errorf("soak: condition %s: threshold is a ratio in [0,1], got %g", c.Check, c.Threshold)
+	}
+	return nil
+}
+
+// knownChecks renders the known check names for error messages.
+func knownChecks() string {
+	names := make([]string, len(checkTable))
+	for i, ci := range checkTable {
+		names[i] = string(ci.kind)
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseCondition parses "check=threshold" into a validated Condition.
+func ParseCondition(s string) (Condition, error) {
+	name, val, ok := strings.Cut(s, "=")
+	name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+	if !ok || name == "" || val == "" {
+		return Condition{}, fmt.Errorf("soak: condition %q is not of the form check=threshold", s)
+	}
+	th, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return Condition{}, fmt.Errorf("soak: condition %q: bad threshold: %v", s, err)
+	}
+	c := Condition{Check: CheckKind(name), Threshold: th}
+	if err := c.Validate(); err != nil {
+		return Condition{}, err
+	}
+	return c, nil
+}
+
+// Recipe is one named soak scenario: a builder from (seed, scale) to a
+// complete sim.RunSpec with its composed chaos plan, plus the conditions
+// its result must satisfy. Recipes are values; the registry in recipes.go
+// is the single source of truth for what exists.
+type Recipe struct {
+	// Name identifies the recipe on the CLI and in reports.
+	Name string
+	// Description is the one-line story of what the recipe stresses.
+	Description string
+	// Conditions are the verdict criteria, evaluated in order.
+	Conditions []Condition
+	// build composes the run spec. It must derive every random stream
+	// (trace, measurement noise, fault schedule) from the seed alone.
+	build func(seed int64, sc Scale) (sim.RunSpec, error)
+}
+
+// Build composes the recipe's run spec for one (seed, scale) cell.
+func (r Recipe) Build(seed int64, sc Scale) (sim.RunSpec, error) {
+	if r.build == nil {
+		return sim.RunSpec{}, fmt.Errorf("soak: recipe %q has no builder", r.Name)
+	}
+	if err := sc.Validate(); err != nil {
+		return sim.RunSpec{}, err
+	}
+	return r.build(seed, sc)
+}
+
+// Validate checks the recipe definition itself.
+func (r Recipe) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("soak: recipe has no name")
+	}
+	if r.Description == "" {
+		return fmt.Errorf("soak: recipe %q has no description", r.Name)
+	}
+	if r.build == nil {
+		return fmt.Errorf("soak: recipe %q has no builder", r.Name)
+	}
+	if len(r.Conditions) == 0 {
+		return fmt.Errorf("soak: recipe %q has no conditions; a soak without a verdict is a warmer", r.Name)
+	}
+	for _, c := range r.Conditions {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("soak: recipe %q: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+// Names lists the registry's recipe names in canonical (matrix) order.
+func Names() []string {
+	rs := Recipes()
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Lookup resolves a recipe by name.
+func Lookup(name string) (Recipe, error) {
+	for _, r := range Recipes() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Recipe{}, fmt.Errorf("soak: unknown recipe %q (known: %s)", name, strings.Join(Names(), ", "))
+}
