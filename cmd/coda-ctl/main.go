@@ -1,0 +1,246 @@
+// Command coda-ctl is the control-plane client: it talks to a running
+// coda-serve over HTTP/JSON and honors the server's admission backpressure
+// — a 429 carries Retry-After, and the client waits it out under a
+// seeded-jitter exponential backoff (internal/ctl/retry) instead of
+// hammering a shedding server.
+//
+// Usage:
+//
+//	coda-ctl submit '{"kind":"cpu","tenant":1,"cpuCores":4,"workSeconds":600}'
+//	coda-ctl status 1
+//	coda-ctl cancel 1
+//	coda-ctl nodes
+//	coda-ctl drain 3
+//	coda-ctl metrics
+//	coda-ctl health
+//
+// Exit codes: 0 success, 1 the server rejected the operation (semantic
+// error or exhausted retries), 2 the tool itself could not run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/coda-repro/coda/internal/ctl/retry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: coda-ctl [flags] <command> [args]
+
+commands:
+  submit <job-spec-json>          admit a job; prints the assigned ID
+  cancel <job-id>                 cancel a pending/running job
+  status <job-id>                 show a job's phase and placement
+  nodes                           list node states and utilization
+  drain|undrain|join|leave <node> node lifecycle operations
+  metrics                         dump the server's /metrics text
+  health                          check /healthz
+`
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coda-ctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server  = fs.String("server", "http://127.0.0.1:8080", "coda-serve base URL")
+		retries = fs.Int("retries", 5, "attempts against a shedding server before giving up")
+		base    = fs.Duration("retry-base", 100*time.Millisecond, "first backoff delay")
+		seed    = fs.Int64("retry-seed", 1, "backoff jitter seed")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(stderr, usage)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if *retries < 1 {
+		fmt.Fprintf(stderr, "coda-ctl: -retries must be at least 1, got %d\n", *retries)
+		return 2
+	}
+
+	backoff, err := retry.New(retry.Policy{Base: *base, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(stderr, "coda-ctl: %v\n", err)
+		return 2
+	}
+	c := &client{
+		base:    strings.TrimRight(*server, "/"),
+		http:    &http.Client{Timeout: *timeout},
+		backoff: backoff,
+		retries: *retries,
+		stderr:  stderr,
+	}
+
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest, stdout, stderr)
+	case "cancel":
+		return c.jobOp(http.MethodDelete, "cancel", rest, stdout, stderr)
+	case "status":
+		return c.jobOp(http.MethodGet, "status", rest, stdout, stderr)
+	case "nodes":
+		return c.get("/v1/nodes", stdout, stderr)
+	case "drain", "undrain", "join", "leave":
+		return c.nodeOp(cmd, rest, stdout, stderr)
+	case "metrics":
+		return c.get("/metrics", stdout, stderr)
+	case "health":
+		return c.get("/healthz", stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "coda-ctl: unknown command %q\n%s", cmd, usage)
+		return 2
+	}
+}
+
+type client struct {
+	base    string
+	http    *http.Client
+	backoff *retry.Backoff
+	retries int
+	stderr  io.Writer
+}
+
+// do issues the request, retrying shed (429) and unavailable (503)
+// answers under backoff. The server's Retry-After floor is respected.
+// Bodies are rebuilt per attempt from the body string.
+func (c *client) do(method, path, body string) (*http.Response, error) {
+	var last *http.Response
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			retryAfter := time.Duration(0)
+			if last != nil {
+				if s := last.Header.Get("Retry-After"); s != "" {
+					if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+						retryAfter = time.Duration(secs) * time.Second
+					}
+				}
+				last.Body.Close()
+			}
+			wait := c.backoff.Next(retryAfter)
+			fmt.Fprintf(c.stderr, "coda-ctl: server busy, retrying in %v (attempt %d/%d)\n",
+				wait.Round(time.Millisecond), attempt+1, c.retries)
+			time.Sleep(wait)
+		}
+		var rdr io.Reader
+		if body != "" {
+			rdr = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rdr)
+		if err != nil {
+			return nil, err
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		last = resp
+	}
+	return last, nil
+}
+
+// report prints one response: the body verbatim on success, a labeled
+// error line otherwise. Returns the process exit code.
+func report(resp *http.Response, stdout, stderr io.Writer) int {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(stderr, "coda-ctl: read response: %v\n", err)
+		return 1
+	}
+	body := strings.TrimRight(string(data), "\n")
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "coda-ctl: server answered %s: %s\n", resp.Status, body)
+		return 1
+	}
+	// A 200 can still carry a deterministic semantic rejection.
+	var sem struct {
+		Err string `json:"error"`
+	}
+	if json.Unmarshal(data, &sem) == nil && sem.Err != "" {
+		fmt.Fprintf(stderr, "coda-ctl: rejected: %s\n", sem.Err)
+		return 1
+	}
+	fmt.Fprintln(stdout, body)
+	return 0
+}
+
+func (c *client) submit(rest []string, stdout, stderr io.Writer) int {
+	if len(rest) != 1 {
+		fmt.Fprintf(stderr, "coda-ctl: submit takes exactly one job-spec JSON argument\n")
+		return 2
+	}
+	resp, err := c.do(http.MethodPost, "/v1/jobs", rest[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "coda-ctl: %v\n", err)
+		return 1
+	}
+	return report(resp, stdout, stderr)
+}
+
+func (c *client) jobOp(method, name string, rest []string, stdout, stderr io.Writer) int {
+	if len(rest) != 1 {
+		fmt.Fprintf(stderr, "coda-ctl: %s takes exactly one job ID\n", name)
+		return 2
+	}
+	id, err := strconv.ParseInt(rest[0], 10, 64)
+	if err != nil || id <= 0 {
+		fmt.Fprintf(stderr, "coda-ctl: %s: %q is not a positive job ID\n", name, rest[0])
+		return 2
+	}
+	resp, err := c.do(method, "/v1/jobs/"+rest[0], "")
+	if err != nil {
+		fmt.Fprintf(stderr, "coda-ctl: %v\n", err)
+		return 1
+	}
+	return report(resp, stdout, stderr)
+}
+
+func (c *client) nodeOp(action string, rest []string, stdout, stderr io.Writer) int {
+	if len(rest) != 1 {
+		fmt.Fprintf(stderr, "coda-ctl: %s takes exactly one node ID\n", action)
+		return 2
+	}
+	id, err := strconv.Atoi(rest[0])
+	if err != nil || id < 0 {
+		fmt.Fprintf(stderr, "coda-ctl: %s: %q is not a node ID\n", action, rest[0])
+		return 2
+	}
+	resp, err := c.do(http.MethodPost, fmt.Sprintf("/v1/nodes/%d/%s", id, action), "")
+	if err != nil {
+		fmt.Fprintf(stderr, "coda-ctl: %v\n", err)
+		return 1
+	}
+	return report(resp, stdout, stderr)
+}
+
+func (c *client) get(path string, stdout, stderr io.Writer) int {
+	resp, err := c.do(http.MethodGet, path, "")
+	if err != nil {
+		fmt.Fprintf(stderr, "coda-ctl: %v\n", err)
+		return 1
+	}
+	return report(resp, stdout, stderr)
+}

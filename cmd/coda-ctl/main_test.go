@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestUsageErrorsExitTwo: malformed invocations never touch the network.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"submit"},
+		{"submit", "a", "b"},
+		{"cancel", "not-a-number"},
+		{"cancel", "0"},
+		{"status"},
+		{"drain", "minus-one"},
+		{"drain", "-1"},
+		{"-retries", "0", "health"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(args...)
+		if code != 2 {
+			t.Errorf("coda-ctl %s: exit %d, want 2 (stderr: %s)",
+				strings.Join(args, " "), code, stderr)
+		}
+	}
+}
+
+// TestCommandsHitExpectedRoutes: each subcommand maps to the documented
+// method + path and prints the response body on success.
+func TestCommandsHitExpectedRoutes(t *testing.T) {
+	var gotMethod, gotPath atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotMethod.Store(r.Method)
+		gotPath.Store(r.URL.Path)
+		fmt.Fprint(w, `{"seq":7,"jobId":3}`)
+	}))
+	defer srv.Close()
+
+	cases := []struct {
+		args   []string
+		method string
+		path   string
+	}{
+		{[]string{"submit", `{"kind":"cpu","tenant":1,"cpuCores":1,"workSeconds":1}`}, "POST", "/v1/jobs"},
+		{[]string{"cancel", "3"}, "DELETE", "/v1/jobs/3"},
+		{[]string{"status", "3"}, "GET", "/v1/jobs/3"},
+		{[]string{"nodes"}, "GET", "/v1/nodes"},
+		{[]string{"drain", "2"}, "POST", "/v1/nodes/2/drain"},
+		{[]string{"undrain", "2"}, "POST", "/v1/nodes/2/undrain"},
+		{[]string{"leave", "2"}, "POST", "/v1/nodes/2/leave"},
+		{[]string{"join", "2"}, "POST", "/v1/nodes/2/join"},
+		{[]string{"metrics"}, "GET", "/metrics"},
+		{[]string{"health"}, "GET", "/healthz"},
+	}
+	for _, tc := range cases {
+		args := append([]string{"-server", srv.URL}, tc.args...)
+		code, out, stderr := runCLI(args...)
+		if code != 0 {
+			t.Errorf("%v: exit %d, stderr: %s", tc.args, code, stderr)
+			continue
+		}
+		if gotMethod.Load() != tc.method || gotPath.Load() != tc.path {
+			t.Errorf("%v: hit %s %s, want %s %s",
+				tc.args, gotMethod.Load(), gotPath.Load(), tc.method, tc.path)
+		}
+		if !strings.Contains(out, `"seq":7`) {
+			t.Errorf("%v: response body not printed: %q", tc.args, out)
+		}
+	}
+}
+
+// TestBackpressureRetry: a shedding server answers 429 + Retry-After
+// twice, then admits. The client must wait it out and succeed.
+func TestBackpressureRetry(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"seq":1,"jobId":1}`)
+	}))
+	defer srv.Close()
+
+	code, out, stderr := runCLI("-server", srv.URL, "-retry-base", "1ms",
+		"submit", `{"kind":"cpu","tenant":1,"cpuCores":1,"workSeconds":1}`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if !strings.Contains(out, `"jobId":1`) {
+		t.Errorf("final response not printed: %q", out)
+	}
+	if !strings.Contains(stderr, "retrying in") {
+		t.Errorf("retry attempts not narrated: %q", stderr)
+	}
+}
+
+// TestRetriesExhaustedExitOne: a permanently shedding server exhausts the
+// retry budget — exit 1, with the final 429 reported.
+func TestRetriesExhaustedExitOne(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	code, _, stderr := runCLI("-server", srv.URL, "-retry-base", "1ms", "-retries", "3",
+		"cancel", "1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly the retry budget of 3", calls.Load())
+	}
+	if !strings.Contains(stderr, "429") {
+		t.Errorf("final status not reported: %q", stderr)
+	}
+}
+
+// TestSemanticRejectionExitOne: a 200 whose body carries a deterministic
+// rejection (cancel of an unknown job) is a failure to the caller.
+func TestSemanticRejectionExitOne(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"seq":4,"error":"ctl: cancel job 9: sim: unknown job"}`)
+	}))
+	defer srv.Close()
+
+	code, _, stderr := runCLI("-server", srv.URL, "cancel", "9")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown job") {
+		t.Errorf("rejection not surfaced: %q", stderr)
+	}
+}
+
+// TestServerErrorStatusExitOne: a non-retryable HTTP error (404) is
+// reported once, with no retries.
+func TestServerErrorStatusExitOne(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such node action", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	code, _, _ := runCLI("-server", srv.URL, "drain", "5")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (404 must not retry)", calls.Load())
+	}
+}

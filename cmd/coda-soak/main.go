@@ -63,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "coda-soak: -seeds must be at least 1, got %d\n", *seeds)
 		return 2
 	}
+	if *seedBase < 0 {
+		fmt.Fprintf(stderr, "coda-soak: -seed-base must be non-negative, got %d\n", *seedBase)
+		return 2
+	}
 	seedList := make([]int64, *seeds)
 	for i := range seedList {
 		seedList[i] = *seedBase + int64(i)

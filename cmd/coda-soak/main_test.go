@@ -42,6 +42,8 @@ func TestOperationalErrorsExitTwo(t *testing.T) {
 		{"-scale", "galactic"},
 		{"-seeds", "0"},
 		{"-seeds", "-3"},
+		{"-seed-base", "-1"},
+		{"-seed-base", "-9000"},
 		{"-conditions", "completion-floor=NaN"},
 		{"-conditions", "bogus-check=1"},
 		{"-conditions", "completion-floor"},

@@ -50,6 +50,12 @@ const (
 	// from a checkpoint has already survived the kills before the
 	// checkpoint). Node and Factor are unused.
 	KindControllerKill
+	// KindServeKill kills the serving process wrapping the scheduler (the
+	// control plane's HTTP front end), not the scheduler state machine: the
+	// engine only counts it, and the control-plane drill harness decides at
+	// which request ordinals the process actually dies and recovers from its
+	// write-ahead log. Node and Factor are unused.
+	KindServeKill
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +79,8 @@ func (k Kind) String() string {
 		return "straggler-end"
 	case KindControllerKill:
 		return "controller-kill"
+	case KindServeKill:
+		return "serve-kill"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -261,13 +269,14 @@ func (p Plan) Validate(nodes int) error {
 		if f.At < 0 {
 			return fmt.Errorf("chaos: fixed fault %d at negative time %v", i, f.At)
 		}
-		// Controller kills target the scheduler, not a node.
-		if f.Kind != KindControllerKill && (f.Node < 0 || f.Node >= nodes) {
+		// Controller and serve kills target a process, not a node.
+		if f.Kind != KindControllerKill && f.Kind != KindServeKill && (f.Node < 0 || f.Node >= nodes) {
 			return fmt.Errorf("chaos: fixed fault %d targets node %d out of [0,%d)", i, f.Node, nodes)
 		}
 		switch f.Kind {
 		case KindNodeCrash, KindNodeRecover, KindNodeDrain, KindNodeUndrain,
-			KindMembwDark, KindMembwRestore, KindStragglerEnd, KindControllerKill:
+			KindMembwDark, KindMembwRestore, KindStragglerEnd, KindControllerKill,
+			KindServeKill:
 		case KindStragglerStart:
 			if f.Factor <= 0 || f.Factor >= 1 {
 				return fmt.Errorf("chaos: fixed fault %d straggler factor %g out of (0,1)", i, f.Factor)

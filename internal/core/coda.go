@@ -222,6 +222,21 @@ func (s *Scheduler) OnJobKilled(j *job.Job) {
 	s.drain()
 }
 
+// OnJobCancelled implements sched.Canceller: an explicit control-plane
+// cancel removed a still-queued job. The queue entry, allocator seeds and
+// arrival records all go; nothing is written to the history log — the job
+// never ran, so there is nothing to teach Nstart.
+func (s *Scheduler) OnJobCancelled(j *job.Job) {
+	s.arrays.RemoveQueued(j)
+	if s.elim != nil {
+		s.elim.Forget(j.ID)
+	}
+	s.alloc.Forget(j.ID)
+	delete(s.arrived, j.ID)
+	delete(s.started, j.ID)
+	s.drain()
+}
+
 // CheckInvariants validates the scheduler's internal bookkeeping: node
 // budgets, fair-share accountants, and that no job is simultaneously
 // running and queued. The simulator's invariant checker calls this after

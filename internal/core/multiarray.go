@@ -220,6 +220,29 @@ func (m *MultiArray) queueFor(queues map[job.TenantID]*list.List, t job.TenantID
 // charges all go; the caller decides whether a retry clone is requeued.
 func (m *MultiArray) OnKilled(j *job.Job) { m.OnCompleted(j) }
 
+// RemoveQueued removes a still-queued job from its array, reporting whether
+// it was found. Queued jobs hold no budgets or fair-share charges yet, so
+// only the queue entry and the desired-core seed go. Running jobs are not
+// touched — cancel those through the OnKilled path.
+func (m *MultiArray) RemoveQueued(j *job.Job) bool {
+	queues := m.cpuQueues
+	if j.IsGPU() {
+		queues = m.gpuQueues
+	}
+	q, ok := queues[j.Tenant]
+	if !ok {
+		return false
+	}
+	for elem := q.Front(); elem != nil; elem = elem.Next() {
+		if qj, ok := elem.Value.(*job.Job); ok && qj.ID == j.ID {
+			q.Remove(elem)
+			delete(m.desired, j.ID)
+			return true
+		}
+	}
+	return false
+}
+
 // OnCompleted releases a finished job's bookkeeping.
 func (m *MultiArray) OnCompleted(j *job.Job) {
 	info, ok := m.running[j.ID]

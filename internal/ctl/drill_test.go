@@ -1,0 +1,148 @@
+package ctl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKillRecoverEquivalence is the control plane's headline metamorphic
+// property and the CI serve-race target: for each seed, a scripted request
+// stream (with drop/dup/swap chaos and periodic cancels) served by a
+// machine that is killed at three seeded batch boundaries and recovered
+// from checkpoint + WAL suffix must finish byte-identical to the same
+// stream served uninterrupted. It runs the full CODA scheduler so every
+// checkpointed subsystem is under the knife.
+func TestKillRecoverEquivalence(t *testing.T) {
+	opts := testOptions()
+	for _, seed := range []int64{1, 2, 3} {
+		drill := DrillConfig{
+			Seed:            seed,
+			Chaos:           RequestChaos{DropProb: 0.1, DupProb: 0.1, SwapProb: 0.15},
+			Kills:           3,
+			CancelEvery:     5,
+			Tick:            time.Minute,
+			CheckpointEvery: 7,
+		}
+		rep, err := RunKillDrill(opts, codaFactory(opts), testTrace(24), drill)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Diff != "" {
+			t.Fatalf("seed %d: killed run diverged from baseline at %s", seed, rep.Diff)
+		}
+		if rep.Kills != 3 {
+			t.Fatalf("seed %d: survived %d kills, want 3", seed, rep.Kills)
+		}
+		if rep.Replayed == 0 {
+			t.Fatalf("seed %d: recovery never replayed a WAL record — the drill is not exercising replay", seed)
+		}
+	}
+}
+
+// TestKillDrillNoCheckpoints proves recovery works from the WAL alone:
+// with no checkpoint cadence, every kill replays the whole log from
+// genesis and must still converge.
+func TestKillDrillNoCheckpoints(t *testing.T) {
+	opts := testOptions()
+	drill := DrillConfig{
+		Seed:  9,
+		Kills: 2,
+		Tick:  time.Minute,
+	}
+	rep, err := RunKillDrill(opts, fifoFactory, testTrace(12), drill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diff != "" {
+		t.Fatalf("full-log replay diverged at %s", rep.Diff)
+	}
+	if rep.Replayed == 0 {
+		t.Fatal("no records replayed despite kills with an empty checkpoint store")
+	}
+}
+
+// TestKillDrillZeroKillsIsIdentity sanity-checks the harness itself: with
+// no kills the two runs are literally the same procedure and must match.
+func TestKillDrillZeroKillsIsIdentity(t *testing.T) {
+	opts := testOptions()
+	rep, err := RunKillDrill(opts, fifoFactory, testTrace(6), DrillConfig{Seed: 4, Tick: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diff != "" {
+		t.Fatalf("zero-kill drill diverged at %s", rep.Diff)
+	}
+	if rep.Kills != 0 || rep.Replayed != 0 {
+		t.Fatalf("zero-kill drill reported kills=%d replayed=%d", rep.Kills, rep.Replayed)
+	}
+}
+
+// TestScriptDeterminism: same inputs, same script — the foundation every
+// drill comparison stands on.
+func TestScriptDeterminism(t *testing.T) {
+	chaos := RequestChaos{DropProb: 0.2, DupProb: 0.2, SwapProb: 0.2}
+	a, err := ScriptFromJobs(testTrace(20), time.Minute, 5, chaos, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ScriptFromJobs(testTrace(20), time.Minute, 5, chaos, 4)
+	if len(a) != len(b) {
+		t.Fatalf("script lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Req.Op != b[i].Req.Op || a[i].Req.JobID != b[i].Req.JobID {
+			t.Fatalf("step %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := ScriptFromJobs(testTrace(20), time.Minute, 6, chaos, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Req.Op != c[i].Req.Op {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical perturbed script")
+	}
+}
+
+func TestScriptChaosShapes(t *testing.T) {
+	jobs := testTrace(30)
+	plain, err := ScriptFromJobs(jobs, time.Minute, 1, RequestChaos{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(jobs) {
+		t.Fatalf("chaos-free script has %d steps, want %d submits", len(plain), len(jobs))
+	}
+	dropped, err := ScriptFromJobs(jobs, time.Minute, 1, RequestChaos{DropProb: 1}, 0)
+	if err == nil && len(dropped) != 0 {
+		t.Fatalf("DropProb=1 left %d steps", len(dropped))
+	}
+	duped, err := ScriptFromJobs(jobs, time.Minute, 1, RequestChaos{DupProb: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(duped) != 2*len(jobs) {
+		t.Fatalf("DupProb=1 produced %d steps, want %d", len(duped), 2*len(jobs))
+	}
+	withCancels, err := ScriptFromJobs(jobs, time.Minute, 1, RequestChaos{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancels := 0
+	for _, st := range withCancels {
+		if st.Req.Op == OpCancel {
+			cancels++
+		}
+	}
+	if cancels != len(jobs)/3 {
+		t.Fatalf("%d cancels for cancelEvery=3 over %d submits, want %d", cancels, len(jobs), len(jobs)/3)
+	}
+}

@@ -1,0 +1,45 @@
+package ctl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseRequest hammers the shared HTTP/WAL request parser. It must
+// never panic, and anything it accepts must re-encode to a payload it
+// accepts again, identically — the WAL replay path depends on that
+// fixed point.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte(`{"op":"submit","job":{"kind":"cpu","tenant":1,"cpuCores":4,"workSeconds":60}}`))
+	f.Add([]byte(`{"op":"cancel","jobId":7}`))
+	f.Add([]byte(`{"op":"node-drain","node":2}`))
+	f.Add([]byte(`{"op":"node-join","node":0}`))
+	f.Add([]byte(`{"op":"cancel","jobId":1,"bogus":true}`))
+	f.Add([]byte(`{"op":"cancel","jobId":1}{"op":"cancel","jobId":2}`))
+	f.Add([]byte(`{"op":"explode"}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add(bytes.Repeat([]byte(`9`), 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		payload, err := req.Encode()
+		if err != nil {
+			t.Fatalf("accepted request %+v does not encode: %v", req, err)
+		}
+		again, err := ParseRequest(payload)
+		if err != nil {
+			t.Fatalf("re-encoded payload %s rejected: %v", payload, err)
+		}
+		second, err := again.Encode()
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if !bytes.Equal(payload, second) {
+			t.Fatalf("encode is not a fixed point: %s vs %s", payload, second)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package ctl is the deterministic control plane wrapping the sealed
+// engine: an HTTP/JSON API whose handlers never touch the simulator
+// directly. Every mutating request is appended to a crash-consistent
+// write-ahead log (internal/ctl/wal) and fsync'd before the client is
+// acknowledged, then applied as a batch through the single-threaded Machine
+// once per tick — so parallel clients still yield one canonical event
+// order, and recovery (latest checkpoint + WAL suffix replay) reproduces
+// the served state byte for byte.
+package ctl
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+// Op enumerates the mutating control-plane operations. Every Op is one WAL
+// record; queries never enter the log.
+type Op string
+
+const (
+	// OpSubmit admits a new job described by Request.Job.
+	OpSubmit Op = "submit"
+	// OpCancel removes a pending/running/retrying job by ID.
+	OpCancel Op = "cancel"
+	// OpNodeJoin returns a departed node to service.
+	OpNodeJoin Op = "node-join"
+	// OpNodeDrain stops new placements on a node, keeping resident jobs.
+	OpNodeDrain Op = "node-drain"
+	// OpNodeUndrain reopens a draining node for placements.
+	OpNodeUndrain Op = "node-undrain"
+	// OpNodeLeave removes a node from service, killing resident jobs (they
+	// requeue through the ordinary retry path).
+	OpNodeLeave Op = "node-leave"
+)
+
+// JobSpec is the client-side job description carried by a submit request.
+// The server assigns the job ID (sequential in canonical WAL order), so a
+// spec is location-independent: the same script replays to the same IDs.
+type JobSpec struct {
+	// Kind is "cpu", "gpu-training" or "bandwidth-hog".
+	Kind string `json:"kind"`
+	// Tenant is the owning tenant ID.
+	Tenant int `json:"tenant"`
+	// Category is "", "none", "cv", "nlp" or "speech" (training jobs).
+	Category string `json:"category,omitempty"`
+	// Model is the DNN model name (training jobs).
+	Model string `json:"model,omitempty"`
+	// BatchSize is the training batch size; 0 means the model default.
+	BatchSize int `json:"batchSize,omitempty"`
+	// CPUCores is the per-node core request.
+	CPUCores int `json:"cpuCores"`
+	// GPUs is the total GPU request (training jobs).
+	GPUs int `json:"gpus,omitempty"`
+	// Nodes is the node span; 0 means 1.
+	Nodes int `json:"nodes,omitempty"`
+	// WorkSeconds is the job's work in seconds-at-full-speed.
+	WorkSeconds float64 `json:"workSeconds"`
+	// BandwidthGBs is a CPU job's peak memory-bandwidth demand.
+	BandwidthGBs float64 `json:"bandwidthGBs,omitempty"`
+}
+
+// ToJob materializes the spec as an engine job with the given ID. Full
+// validation happens through job.Validate at injection; this only maps the
+// enum strings.
+func (s *JobSpec) ToJob(id job.ID) (*job.Job, error) {
+	var kind job.Kind
+	switch s.Kind {
+	case "cpu":
+		kind = job.KindCPU
+	case "gpu-training":
+		kind = job.KindGPUTraining
+	case "bandwidth-hog":
+		kind = job.KindBandwidthHog
+	default:
+		return nil, fmt.Errorf("ctl: unknown job kind %q", s.Kind)
+	}
+	var cat job.Category
+	switch s.Category {
+	case "", "none":
+		cat = job.CategoryNone
+	case "cv":
+		cat = job.CategoryCV
+	case "nlp":
+		cat = job.CategoryNLP
+	case "speech":
+		cat = job.CategorySpeech
+	default:
+		return nil, fmt.Errorf("ctl: unknown job category %q", s.Category)
+	}
+	nodes := s.Nodes
+	if nodes == 0 {
+		nodes = 1
+	}
+	if s.WorkSeconds <= 0 {
+		return nil, fmt.Errorf("ctl: workSeconds must be positive, got %g", s.WorkSeconds)
+	}
+	return &job.Job{
+		ID:        id,
+		Kind:      kind,
+		Tenant:    job.TenantID(s.Tenant),
+		Category:  cat,
+		Model:     s.Model,
+		BatchSize: s.BatchSize,
+		Request: job.Request{
+			CPUCores: s.CPUCores,
+			GPUs:     s.GPUs,
+			Nodes:    nodes,
+		},
+		Work:      time.Duration(s.WorkSeconds * float64(time.Second)),
+		Bandwidth: s.BandwidthGBs,
+	}, nil
+}
+
+// Request is one mutating control-plane operation — the WAL payload and the
+// HTTP request body share this encoding.
+type Request struct {
+	// Op selects the operation.
+	Op Op `json:"op"`
+	// Job describes the job to submit (OpSubmit only).
+	Job *JobSpec `json:"job,omitempty"`
+	// JobID targets a cancel (OpCancel only).
+	JobID int64 `json:"jobId,omitempty"`
+	// Node targets the node operations.
+	Node int `json:"node"`
+}
+
+// maxRequestBytes bounds a single request body (and WAL payload) so a
+// hostile length cannot demand an outsized allocation.
+const maxRequestBytes = 1 << 20
+
+// Validate checks the per-op field discipline: stray fields on the wrong op
+// are rejected, so a WAL payload says exactly one thing.
+func (r *Request) Validate() error {
+	switch r.Op {
+	case OpSubmit:
+		if r.Job == nil {
+			return errors.New("ctl: submit request carries no job")
+		}
+		if r.JobID != 0 || r.Node != 0 {
+			return errors.New("ctl: submit request must not set jobId or node")
+		}
+	case OpCancel:
+		if r.JobID <= 0 {
+			return fmt.Errorf("ctl: cancel request needs a positive jobId, got %d", r.JobID)
+		}
+		if r.Job != nil || r.Node != 0 {
+			return errors.New("ctl: cancel request must not set job or node")
+		}
+	case OpNodeJoin, OpNodeDrain, OpNodeUndrain, OpNodeLeave:
+		if r.Node < 0 {
+			return fmt.Errorf("ctl: %s request needs a non-negative node, got %d", r.Op, r.Node)
+		}
+		if r.Job != nil || r.JobID != 0 {
+			return fmt.Errorf("ctl: %s request must not set job or jobId", r.Op)
+		}
+	default:
+		return fmt.Errorf("ctl: unknown op %q", r.Op)
+	}
+	return nil
+}
+
+// Encode serializes the request as a WAL payload.
+func (r *Request) Encode() ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: encode request: %w", err)
+	}
+	return data, nil
+}
+
+// ParseRequest strictly decodes one request from data: unknown fields,
+// trailing values, oversized bodies and per-op field violations are all
+// loud errors. The HTTP handlers and the WAL replay path share this parser,
+// so nothing the server refused can ever replay differently.
+func ParseRequest(data []byte) (Request, error) {
+	var req Request
+	if len(data) > maxRequestBytes {
+		return req, fmt.Errorf("ctl: request of %d bytes exceeds cap %d", len(data), maxRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("ctl: parse request: %w", err)
+	}
+	if dec.More() {
+		return Request{}, errors.New("ctl: trailing data after request")
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Request{}, errors.New("ctl: trailing data after request")
+	}
+	if err := req.Validate(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// Response is the API's answer to one mutating request.
+type Response struct {
+	// Seq is the request's WAL sequence number: proof of durability and the
+	// request's position in the canonical order.
+	Seq uint64 `json:"seq"`
+	// JobID is the ID assigned to a submitted job.
+	JobID int64 `json:"jobId,omitempty"`
+	// Err is the deterministic semantic rejection, if any (the request is
+	// still in the WAL: a replay reproduces the same rejection).
+	Err string `json:"error,omitempty"`
+}

@@ -1,0 +1,136 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+func TestParseRequestAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want Op
+	}{
+		{"submit", `{"op":"submit","job":{"kind":"cpu","tenant":1,"cpuCores":4,"workSeconds":60}}`, OpSubmit},
+		{"cancel", `{"op":"cancel","jobId":7}`, OpCancel},
+		{"drain", `{"op":"node-drain","node":2}`, OpNodeDrain},
+		{"undrain", `{"op":"node-undrain","node":0}`, OpNodeUndrain},
+		{"join", `{"op":"node-join","node":1}`, OpNodeJoin},
+		{"leave", `{"op":"node-leave","node":3}`, OpNodeLeave},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := ParseRequest([]byte(tc.body))
+			if err != nil {
+				t.Fatalf("ParseRequest: %v", err)
+			}
+			if req.Op != tc.want {
+				t.Fatalf("op %q, want %q", req.Op, tc.want)
+			}
+			// Round-trip: what the server accepts must re-encode to a WAL
+			// payload that parses back to the same request.
+			data, err := req.Encode()
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			again, err := ParseRequest(data)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if again.Op != req.Op || again.JobID != req.JobID || again.Node != req.Node {
+				t.Fatalf("round-trip changed the request: %+v vs %+v", req, again)
+			}
+		})
+	}
+}
+
+func TestParseRequestRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		wantSub string
+	}{
+		{"empty", ``, "parse request"},
+		{"not json", `hello`, "parse request"},
+		{"unknown field", `{"op":"cancel","jobId":1,"bogus":true}`, "parse request"},
+		{"trailing data", `{"op":"cancel","jobId":1}{"op":"cancel","jobId":2}`, "trailing data"},
+		{"trailing garbage", `{"op":"cancel","jobId":1}xyz`, "trailing data"},
+		{"unknown op", `{"op":"explode"}`, "unknown op"},
+		{"submit without job", `{"op":"submit"}`, "carries no job"},
+		{"submit with jobId", `{"op":"submit","job":{"kind":"cpu","tenant":1,"cpuCores":1,"workSeconds":1},"jobId":4}`, "must not set"},
+		{"cancel without id", `{"op":"cancel"}`, "needs a positive jobId"},
+		{"cancel negative id", `{"op":"cancel","jobId":-2}`, "needs a positive jobId"},
+		{"cancel with job", `{"op":"cancel","jobId":1,"job":{"kind":"cpu","tenant":1,"cpuCores":1,"workSeconds":1}}`, "must not set"},
+		{"node op negative node", `{"op":"node-drain","node":-1}`, "non-negative node"},
+		{"node op with jobId", `{"op":"node-leave","node":1,"jobId":5}`, "must not set"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRequest([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("ParseRequest accepted %q", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseRequestSizeCap(t *testing.T) {
+	huge := `{"op":"cancel","jobId":1,` + strings.Repeat(" ", maxRequestBytes) + `}`
+	if _, err := ParseRequest([]byte(huge)); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("oversized request not capped: %v", err)
+	}
+}
+
+func TestJobSpecToJob(t *testing.T) {
+	spec := JobSpec{
+		Kind: "gpu-training", Tenant: 3, Category: "nlp", Model: "transformer",
+		CPUCores: 4, GPUs: 2, WorkSeconds: 90,
+	}
+	j, err := spec.ToJob(5)
+	if err != nil {
+		t.Fatalf("ToJob: %v", err)
+	}
+	if j.ID != 5 || j.Kind != job.KindGPUTraining || j.Category != job.CategoryNLP {
+		t.Fatalf("mapped job %+v wrong", j)
+	}
+	if j.Request.Nodes != 1 {
+		t.Fatalf("zero Nodes should default to 1, got %d", j.Request.Nodes)
+	}
+	if j.Work != 90*time.Second {
+		t.Fatalf("work %v, want 90s", j.Work)
+	}
+
+	for _, bad := range []JobSpec{
+		{Kind: "quantum", Tenant: 1, CPUCores: 1, WorkSeconds: 1},
+		{Kind: "cpu", Category: "astrology", Tenant: 1, CPUCores: 1, WorkSeconds: 1},
+		{Kind: "cpu", Tenant: 1, CPUCores: 1, WorkSeconds: 0},
+		{Kind: "cpu", Tenant: 1, CPUCores: 1, WorkSeconds: -3},
+	} {
+		if _, err := bad.ToJob(1); err == nil {
+			t.Errorf("ToJob(%+v) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestSpecFromJobRoundTrip(t *testing.T) {
+	for _, j := range testTrace(8) {
+		spec, err := specFromJob(j)
+		if err != nil {
+			t.Fatalf("specFromJob(%d): %v", j.ID, err)
+		}
+		back, err := spec.ToJob(j.ID)
+		if err != nil {
+			t.Fatalf("ToJob(%d): %v", j.ID, err)
+		}
+		if back.Kind != j.Kind || back.Category != j.Category || back.Model != j.Model ||
+			back.Request != j.Request || back.Work != j.Work || back.Bandwidth != j.Bandwidth {
+			t.Fatalf("job %d did not round-trip:\n  in:  %+v\n  out: %+v", j.ID, j, back)
+		}
+	}
+}

@@ -57,11 +57,13 @@ func TestProductionGoroutinePolicy(t *testing.T) {
 }
 
 // TestDefaultConfigAllowlist pins the allowlist itself: exactly
-// internal/history (wall-clock-exempt log) and internal/runner (worker
-// pool) — in particular internal/experiments must NOT be there anymore.
+// internal/history (wall-clock-exempt log), internal/runner (worker
+// pool) and internal/ctl (the control-plane server's vetted mutex and
+// reply channels; its ticker goroutine lives in cmd/coda-serve) — in
+// particular internal/experiments must NOT be there anymore.
 func TestDefaultConfigAllowlist(t *testing.T) {
 	got := DefaultConfig().GoroutineAllow
-	want := []string{"internal/history", "internal/runner"}
+	want := []string{"internal/history", "internal/runner", "internal/ctl"}
 	if len(got) != len(want) {
 		t.Fatalf("GoroutineAllow = %v, want %v", got, want)
 	}

@@ -79,12 +79,18 @@ func DefaultConfig() Config {
 		// Everything simulator-driven runs on virtual time and seeded rngs.
 		WallClockFree: []string{"internal/"},
 		// Goroutines and locks are confined to the history log (guarded by
-		// a vetted RWMutex) and the runner's worker pool — the one place
-		// the repository is allowed to overlap independent simulation runs.
-		// internal/experiments is deliberately NOT here: its old replay
-		// fan-out moved into internal/runner, and it must stay sync-free.
+		// a vetted RWMutex), the runner's worker pool — the one place the
+		// repository is allowed to overlap independent simulation runs —
+		// and the control-plane server, whose mutex serializes HTTP
+		// handlers in front of the single-threaded machine. internal/ctl
+		// still may not start goroutines of its own: the allowlist admits
+		// sync primitives, and the absence of `go` statements is asserted
+		// by the package's own tests plus the cmd-layer ownership of the
+		// ticker loop. internal/experiments is deliberately NOT here: its
+		// old replay fan-out moved into internal/runner, and it must stay
+		// sync-free.
 		Deterministic:  []string{"internal/"},
-		GoroutineAllow: []string{"internal/history", "internal/runner"},
+		GoroutineAllow: []string{"internal/history", "internal/runner", "internal/ctl"},
 		FloatEqScope:   []string{"internal/", "cmd/"},
 		ErrCheckScope:  []string{"internal/", "cmd/"},
 	}

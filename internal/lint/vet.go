@@ -55,10 +55,11 @@ func DefaultVetConfig() VetConfig {
 			"internal/cluster", "internal/membw", "internal/fair",
 			"internal/perfmodel", "internal/chaos",
 		},
-		// The runner (worker pool) and the CLIs are the only places allowed
-		// to touch the host; they are out of the proof, and the layer spec
-		// below makes them unimportable from the engine.
-		PurityExempt: []string{"internal/runner", "cmd/"},
+		// The runner (worker pool), the control plane (whose WAL fsyncs and
+		// HTTP surface are host-facing by design) and the CLIs are the only
+		// places allowed to touch the host; they are out of the proof, and
+		// the layer spec below makes them unimportable from the engine.
+		PurityExempt: []string{"internal/runner", "internal/ctl/", "cmd/"},
 		ImpurePkgs:   []string{"os", "net", "syscall"},
 		PurityAllow:  nil,
 
@@ -67,6 +68,7 @@ func DefaultVetConfig() VetConfig {
 		CheckpointScope: []string{
 			"internal/sched", "internal/core", "internal/sim",
 			"internal/cluster", "internal/fair", "internal/membw",
+			"internal/ctl",
 		},
 	}
 }
@@ -108,6 +110,14 @@ func DefaultLayers() []Layer {
 			DenyStd:  []string{"net", "syscall"},
 		},
 		{
+			// The control-plane WAL: append-fsync framed records plus the
+			// checkpoint store, both built on the atomicio primitive.
+			Name:     "wal",
+			Packages: []string{"internal/ctl/wal"},
+			Allow:    []string{"atomicio"},
+			DenyStd:  []string{"net", "sync", "syscall"},
+		},
+		{
 			Name:     "sched",
 			Packages: []string{"internal/sched", "internal/trace"},
 			Allow:    []string{"base", "domain"},
@@ -133,11 +143,22 @@ func DefaultLayers() []Layer {
 			DenyStd:  []string{"os", "net", "syscall"},
 		},
 		{
+			// The control plane: the WAL-backed machine, the HTTP server in
+			// front of it, and the client backoff helper. It may not reach
+			// os/syscall directly — durability flows only through the wal
+			// layer, so every write is a framed, fsync'd record. net stays
+			// open for net/http; sync is vetted by GoroutineAllow.
+			Name:     "serve",
+			Packages: []string{"internal/ctl", "internal/ctl/retry"},
+			Allow:    []string{"base", "domain", "persist", "sched", "engine", "wal"},
+			DenyStd:  []string{"os", "syscall"},
+		},
+		{
 			// The soak harness: recipes composing engine runs through the
 			// runner, still host-free — the coda-soak CLI owns all I/O.
 			Name:     "soak",
 			Packages: []string{"internal/soak"},
-			Allow:    []string{"base", "domain", "persist", "sched", "policy", "engine", "runner"},
+			Allow:    []string{"base", "domain", "persist", "sched", "policy", "engine", "runner", "serve"},
 			DenyStd:  engineDeny,
 		},
 		{
@@ -155,8 +176,8 @@ func DefaultLayers() []Layer {
 			Name:     "cmd",
 			Packages: []string{"cmd/"},
 			Allow: []string{
-				"base", "domain", "atomicio", "persist", "sched",
-				"policy", "engine", "runner", "soak", "tooling", "apps",
+				"base", "domain", "atomicio", "persist", "sched", "policy",
+				"engine", "runner", "wal", "serve", "soak", "tooling", "apps",
 			},
 		},
 	}

@@ -29,6 +29,20 @@ type FaultCounters struct {
 	// counter survives checkpoint/restore, so a resumed run that replays a
 	// kill it already survived can tell it apart from a fresh one.
 	ControllerKills int
+	// ServeKills counts injected deaths of the serving process wrapping the
+	// scheduler (the control plane's kill-and-recover drill surface).
+	ServeKills int
+	// ServeAccepted counts control-plane requests made durable in the WAL
+	// and applied; ServeShed counts requests bounced with backpressure
+	// before touching the WAL; ServeReplayed counts WAL records re-applied
+	// during recovery (a subset of the accepted records, replayed again).
+	ServeAccepted, ServeShed, ServeReplayed int
+	// WALFsyncs counts durability syncs of the control plane's write-ahead
+	// request log; batch admission amortizes one sync over many requests.
+	WALFsyncs int
+	// ServeRecoveries counts control-plane restarts that rebuilt state from
+	// the latest checkpoint plus a WAL suffix replay.
+	ServeRecoveries int
 	// GoodputLost is attempt progress destroyed by kills: work a job had
 	// completed in an attempt that then had to restart from scratch.
 	GoodputLost time.Duration
@@ -56,6 +70,12 @@ func (c FaultCounters) Sane() error {
 		{"TerminalFailures", c.TerminalFailures},
 		{"DegradedSamples", c.DegradedSamples},
 		{"ControllerKills", c.ControllerKills},
+		{"ServeKills", c.ServeKills},
+		{"ServeAccepted", c.ServeAccepted},
+		{"ServeShed", c.ServeShed},
+		{"ServeReplayed", c.ServeReplayed},
+		{"WALFsyncs", c.WALFsyncs},
+		{"ServeRecoveries", c.ServeRecoveries},
 	} {
 		if f.value < 0 {
 			return fmt.Errorf("fault counters: %s is negative (%d)", f.name, f.value)
@@ -88,6 +108,20 @@ func (c FaultCounters) Sane() error {
 	if c.GoodputLost > 0 && c.JobKills == 0 {
 		return fmt.Errorf("fault counters: %s goodput lost with no job kills", c.GoodputLost)
 	}
+	// WAL records only replay during a checkpoint+suffix recovery.
+	if c.ServeReplayed > 0 && c.ServeRecoveries == 0 {
+		return fmt.Errorf("fault counters: %d replayed WAL records with no recoveries", c.ServeReplayed)
+	}
+	// Every accepted request was made durable first, and batch admission
+	// syncs at most once per accepted record.
+	if c.WALFsyncs > c.ServeAccepted {
+		return fmt.Errorf("fault counters: %d WAL fsyncs exceed %d accepted requests", c.WALFsyncs, c.ServeAccepted)
+	}
+	// Accepted requests imply durability: a control plane cannot apply
+	// records it never synced.
+	if c.ServeAccepted > 0 && c.WALFsyncs == 0 {
+		return fmt.Errorf("fault counters: %d accepted requests with no WAL fsyncs", c.ServeAccepted)
+	}
 	return nil
 }
 
@@ -103,5 +137,11 @@ func (c *FaultCounters) Add(o FaultCounters) {
 	c.TerminalFailures += o.TerminalFailures
 	c.DegradedSamples += o.DegradedSamples
 	c.ControllerKills += o.ControllerKills
+	c.ServeKills += o.ServeKills
+	c.ServeAccepted += o.ServeAccepted
+	c.ServeShed += o.ServeShed
+	c.ServeReplayed += o.ServeReplayed
+	c.WALFsyncs += o.WALFsyncs
+	c.ServeRecoveries += o.ServeRecoveries
 	c.GoodputLost += o.GoodputLost
 }

@@ -62,6 +62,18 @@ func (f *FIFO) OnJobKilled(*job.Job) { f.drain() }
 // Tick implements Scheduler.
 func (f *FIFO) Tick() { f.drain() }
 
+// OnJobCancelled implements Canceller: the queued job is removed and the
+// freed scan slot may let later arrivals start.
+func (f *FIFO) OnJobCancelled(j *job.Job) {
+	for elem := f.queue.Front(); elem != nil; elem = elem.Next() {
+		if q, ok := elem.Value.(*job.Job); ok && q.ID == j.ID {
+			f.queue.Remove(elem)
+			break
+		}
+	}
+	f.drain()
+}
+
 // drain walks the queue in arrival order, starting every job that fits.
 // Unplaceable GPU jobs near the front get node reservations (up to
 // ReserveDepth) that later jobs must not touch, like SLURM's backfill

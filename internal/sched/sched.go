@@ -66,6 +66,16 @@ type Scheduler interface {
 	Tick()
 }
 
+// Canceller is the optional interface a scheduler implements to support
+// cancelling a job that is still queued (the control plane's DELETE
+// /v1/jobs). The job was never started, so no resources need releasing —
+// the scheduler must only drop the job from its queue bookkeeping. Running
+// jobs are cancelled through the ordinary OnJobKilled path instead.
+type Canceller interface {
+	// OnJobCancelled removes a still-queued job from the scheduler's queue.
+	OnJobCancelled(j *job.Job)
+}
+
 // PlaceRequest finds nodes for a resource request: req.Nodes nodes that
 // each fit req.CPUCores cores (per node) and the per-node GPU share.
 // bestFit packs loaded nodes first to limit fragmentation. The returned

@@ -70,6 +70,12 @@ func (s *Simulator) handleFault(f chaos.Fault) {
 		if s.opts.ExitOnControllerKill && s.results.Faults.ControllerKills > s.killsSurvived {
 			s.killed = true
 		}
+	case chaos.KindServeKill:
+		// Count-only inside the engine: the control-plane drill harness
+		// decides at which request ordinals the serving process actually
+		// dies. Baseline and killed-and-recovered runs tally the same kills,
+		// which keeps their Results byte-comparable.
+		s.results.Faults.ServeKills++
 	}
 }
 

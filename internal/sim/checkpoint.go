@@ -107,6 +107,7 @@ type Checkpoint struct {
 	Admitted      int
 	CompletedJobs int
 	TerminalJobs  int
+	CancelledJobs int
 
 	NextCheckpointAt      time.Duration
 	EventsSinceCheckpoint int
@@ -164,6 +165,7 @@ func (s *Simulator) Checkpoint() (*Checkpoint, error) {
 		Admitted:      s.admitted,
 		CompletedJobs: s.completedJobs,
 		TerminalJobs:  s.terminalJobs,
+		CancelledJobs: s.cancelledJobs,
 
 		NextCheckpointAt:      s.nextCheckpointAt,
 		EventsSinceCheckpoint: s.eventsSinceCheckpoint,
@@ -290,6 +292,7 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 		admitted:      ck.Admitted,
 		completedJobs: ck.CompletedJobs,
 		terminalJobs:  ck.TerminalJobs,
+		cancelledJobs: ck.CancelledJobs,
 
 		killsSurvived: ck.Results.Faults.ControllerKills,
 		resumed:       true,

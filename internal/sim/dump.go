@@ -39,12 +39,12 @@ func dumpCDF(b *strings.Builder, name string, c *metrics.CDF) {
 // vs sequential execution).
 func DumpResult(r *Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scheduler=%s lastArrival=%d endTime=%d throttles=%d preemptions=%d\n",
-		r.Scheduler, r.LastArrival, r.EndTime, r.Throttles, r.Preemptions)
+	fmt.Fprintf(&b, "scheduler=%s lastArrival=%d endTime=%d throttles=%d preemptions=%d cancellations=%d\n",
+		r.Scheduler, r.LastArrival, r.EndTime, r.Throttles, r.Preemptions, r.Cancellations)
 	f := r.Faults
-	fmt.Fprintf(&b, "faults: crashes=%d recoveries=%d dropouts=%d stragglers=%d kills=%d jobFailures=%d requeues=%d terminal=%d degraded=%d goodputLost=%d controllerKills=%d\n",
+	fmt.Fprintf(&b, "faults: crashes=%d recoveries=%d dropouts=%d stragglers=%d kills=%d jobFailures=%d requeues=%d terminal=%d degraded=%d goodputLost=%d controllerKills=%d serveKills=%d\n",
 		f.NodeCrashes, f.NodeRecoveries, f.MembwDropouts, f.Stragglers, f.JobKills,
-		f.JobFailures, f.Requeues, f.TerminalFailures, f.DegradedSamples, f.GoodputLost, f.ControllerKills)
+		f.JobFailures, f.Requeues, f.TerminalFailures, f.DegradedSamples, f.GoodputLost, f.ControllerKills, f.ServeKills)
 	dumpSeries(&b, "gpuActive", &r.GPUActive)
 	dumpSeries(&b, "gpuUtil", &r.GPUUtilSeries)
 	dumpSeries(&b, "cpuActive", &r.CPUActive)
@@ -66,9 +66,9 @@ func DumpResult(r *Result) string {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		js := r.Jobs[id]
-		fmt.Fprintf(&b, "job %d: arrival=%d started=%t firstStart=%d completed=%t completedAt=%d cores=%d resizes=%d preemptions=%d kills=%d requeues=%d terminal=%t\n",
+		fmt.Fprintf(&b, "job %d: arrival=%d started=%t firstStart=%d completed=%t completedAt=%d cores=%d resizes=%d preemptions=%d kills=%d requeues=%d terminal=%t cancelled=%t\n",
 			id, js.Arrival, js.Started, js.FirstStart, js.Completed, js.CompletedAt,
-			js.FinalCores, js.Resizes, js.Preemptions, js.Kills, js.Requeues, js.TerminallyFailed)
+			js.FinalCores, js.Resizes, js.Preemptions, js.Kills, js.Requeues, js.TerminallyFailed, js.Cancelled)
 	}
 	return b.String()
 }

@@ -113,11 +113,11 @@ func (s *Simulator) checkInvariantsDelta() error {
 // delta and full checks.
 func (s *Simulator) checkConservation() error {
 	accounted := s.arrivalsLeft + len(s.pending) + len(s.running) + len(s.retrying) +
-		s.completedJobs + s.terminalJobs
+		s.completedJobs + s.terminalJobs + s.cancelledJobs
 	if accounted != s.admitted {
-		return fmt.Errorf("job conservation broken: %d arrivals left + %d pending + %d running + %d retrying + %d completed + %d terminal = %d, admitted %d",
+		return fmt.Errorf("job conservation broken: %d arrivals left + %d pending + %d running + %d retrying + %d completed + %d terminal + %d cancelled = %d, admitted %d",
 			s.arrivalsLeft, len(s.pending), len(s.running), len(s.retrying),
-			s.completedJobs, s.terminalJobs, accounted, s.admitted)
+			s.completedJobs, s.terminalJobs, s.cancelledJobs, accounted, s.admitted)
 	}
 	return nil
 }
@@ -137,8 +137,8 @@ func (s *Simulator) checkConservation() error {
 //     under study — but accounting must balance.)
 //  5. PCIe load is never negative.
 //  6. Job conservation: arrivals left + pending + running + retrying +
-//     completed + terminally failed = admitted. No admitted job is ever
-//     lost.
+//     completed + terminally failed + cancelled = admitted. No admitted
+//     job is ever lost.
 //
 // Behind Options.Invariants it runs after every event; tests enable it
 // everywhere, cmd/coda-sim behind -invariants.

@@ -34,6 +34,9 @@ type JobStats struct {
 	// is the work still outstanding when it was given up on.
 	TerminallyFailed bool
 	LostWork         time.Duration
+	// Cancelled marks a job removed by an explicit control-plane cancel
+	// request (service mode only).
+	Cancelled bool
 }
 
 // QueueTime returns the time from submission to first start (0 if the job
@@ -88,6 +91,10 @@ type Result struct {
 	// Throttles counts eliminator MBA interventions; Preemptions counts
 	// cross-array preemptions.
 	Throttles, Preemptions int
+
+	// Cancellations counts jobs removed by explicit control-plane cancel
+	// requests (service mode only; always 0 for batch runs).
+	Cancellations int
 
 	// Faults aggregates chaos activity: crashes, dropouts, kills, requeues,
 	// terminal failures and goodput lost. All-zero for fault-free runs.
@@ -189,6 +196,14 @@ func (r *Result) noteKill(id job.ID, lost time.Duration) {
 func (r *Result) noteRequeue(id job.ID) {
 	if js, ok := r.Jobs[id]; ok {
 		js.Requeues++
+	}
+}
+
+// noteCancel records an explicit control-plane cancellation.
+func (r *Result) noteCancel(id job.ID) {
+	r.Cancellations++
+	if js, ok := r.Jobs[id]; ok {
+		js.Cancelled = true
 	}
 }
 

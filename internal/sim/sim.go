@@ -76,6 +76,14 @@ type Options struct {
 	// false the kill is only counted — that is the baseline an interrupted-
 	// and-resumed run must reproduce bit-for-bit.
 	ExitOnControllerKill bool
+	// Service switches the simulator into control-plane mode: the run is
+	// driven incrementally with RunUntil instead of Run, jobs and faults are
+	// injected at the current virtual time (InjectArrival/InjectFault), jobs
+	// can be cancelled, tick and sample events re-arm unconditionally (an
+	// online service idles between requests instead of finishing), and the
+	// stall detector is off. Chaos state is always initialized so node
+	// drain/leave/join operations can flow through the fault machinery.
+	Service bool
 }
 
 // DefaultOptions returns the standard run configuration.
@@ -279,12 +287,14 @@ type Simulator struct {
 	retries    map[job.ID]int
 	retrying   map[job.ID]*job.Job
 	failedOnce map[job.ID]bool
-	// admitted / completedJobs / terminalJobs feed the job-conservation
-	// invariant: admitted = arrivalsLeft + pending + running + retrying +
-	// completed + terminal at every event boundary.
+	// admitted / completedJobs / terminalJobs / cancelledJobs feed the
+	// job-conservation invariant: admitted = arrivalsLeft + pending +
+	// running + retrying + completed + terminal + cancelled at every event
+	// boundary.
 	admitted      int
 	completedJobs int
 	terminalJobs  int
+	cancelledJobs int
 
 	// Checkpoint/restore state. killsSurvived is how many controller kills
 	// this process has already lived through (kills recorded before the
@@ -294,6 +304,7 @@ type Simulator struct {
 	killsSurvived         int
 	killed                bool
 	resumed               bool
+	bootstrapped          bool
 	nextCheckpointAt      time.Duration
 	eventsSinceCheckpoint int
 
@@ -383,11 +394,10 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 		s.results.growSeries(samples)
 	}
 	s.admitted = s.arrivalsLeft
-	if !opts.Faults.Empty() {
-		faults, err := opts.Faults.Compile(opts.Cluster.TotalNodes())
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
+	// Service mode always initializes chaos state even with an empty plan:
+	// node drain/leave/join operations are delivered through the fault
+	// machinery at runtime.
+	if !opts.Faults.Empty() || opts.Service {
 		s.chaosOn = true
 		s.downDepth = make([]int, opts.Cluster.TotalNodes())
 		s.darkDepth = make([]int, opts.Cluster.TotalNodes())
@@ -395,6 +405,12 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 		s.retries = make(map[job.ID]int)
 		s.retrying = make(map[job.ID]*job.Job)
 		s.failedOnce = make(map[job.ID]bool)
+	}
+	if !opts.Faults.Empty() {
+		faults, err := opts.Faults.Compile(opts.Cluster.TotalNodes())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 		for _, f := range faults {
 			s.pushEvent(event{at: f.At, kind: evFault, fault: f})
 			s.faultsLeft++
@@ -471,14 +487,7 @@ const maxEvents = 200_000_000
 // returns ErrControllerKilled without finalizing; the caller restarts from
 // the latest checkpoint via Resume.
 func (s *Simulator) Run() (*Result, error) {
-	if !s.resumed {
-		// A resumed run carries its tick/sample events inside the restored
-		// heap; re-pushing them would double the cadence streams.
-		if s.opts.TickInterval > 0 {
-			s.pushEvent(event{at: s.opts.TickInterval, kind: evTick})
-		}
-		s.pushEvent(event{at: 0, kind: evSample})
-	}
+	s.bootstrap()
 
 	for steps := 0; s.events.Len() > 0; steps++ {
 		if steps > maxEvents {
@@ -491,57 +500,15 @@ func (s *Simulator) Run() (*Result, error) {
 		if s.opts.MaxVirtualTime > 0 && e.at > s.opts.MaxVirtualTime {
 			break
 		}
-		s.now = e.at
-		s.results.Events++
-
-		switch e.kind {
-		case evArrival:
-			s.handleArrival(e.job)
-		case evCompletion:
-			s.handleCompletion(e.jobID, e.version)
-		case evTick:
-			s.scheduler.Tick()
-			if s.stalled() {
-				// No arrivals remain, nothing runs, and the tick started
-				// nothing: the pending jobs are unplaceable and no future
-				// event can change that. Stop instead of spinning forever.
-				s.finalize()
-				return s.results, nil
-			}
-			if !s.idle() {
-				s.pushEvent(event{at: s.now + s.opts.TickInterval, kind: evTick})
-			}
-		case evSample:
-			s.sample()
-			if !s.idle() {
-				s.pushEvent(event{at: s.now + s.opts.SampleInterval, kind: evSample})
-			}
-		case evFault:
-			s.faultsLeft--
-			s.handleFault(e.fault)
-		case evResubmit:
-			s.handleResubmit(e.jobID)
-		case evJobFail:
-			s.handleJobFailure(e.jobID, e.run)
+		if s.dispatch(e) {
+			// No arrivals remain, nothing runs, and the tick started
+			// nothing: the pending jobs are unplaceable and no future
+			// event can change that. Stop instead of spinning forever.
+			s.finalize()
+			return s.results, nil
 		}
-		if s.opts.Invariants {
-			if err := s.checkEventInvariants(); err != nil {
-				return nil, fmt.Errorf("sim: invariant violated after %v event at t=%v: %w", e.kind, s.now, err)
-			}
-		}
-		// The touched journals only matter to the delta checker above;
-		// resetting them unconditionally keeps them from growing when
-		// checking is off.
-		s.cluster.ResetTouched()
-		s.touchedJobs = s.touchedJobs[:0]
-		if s.killed {
-			// Died mid-run: no finalize, no results. State up to the latest
-			// checkpoint survives; everything after it is lost, exactly like
-			// a real scheduler crash.
-			return nil, ErrControllerKilled
-		}
-		if err := s.maybeCheckpoint(); err != nil {
-			return nil, fmt.Errorf("sim: checkpoint at t=%v: %w", s.now, err)
+		if err := s.postEvent(e.kind); err != nil {
+			return nil, err
 		}
 		s.recycleEvent(e)
 		if s.idle() {
@@ -550,6 +517,82 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	s.finalize()
 	return s.results, nil
+}
+
+// bootstrap pushes the initial tick/sample cadence events exactly once per
+// process. A resumed run carries its tick/sample events inside the restored
+// heap; re-pushing them would double the cadence streams.
+func (s *Simulator) bootstrap() {
+	if s.resumed || s.bootstrapped {
+		return
+	}
+	s.bootstrapped = true
+	if s.opts.TickInterval > 0 {
+		s.pushEvent(event{at: s.opts.TickInterval, kind: evTick})
+	}
+	s.pushEvent(event{at: 0, kind: evSample})
+}
+
+// dispatch advances virtual time to e.at and applies the event. It reports
+// whether a tick proved the run permanently wedged (batch mode only — a
+// service idles between requests instead of stalling out).
+func (s *Simulator) dispatch(e *event) (stalled bool) {
+	s.now = e.at
+	s.results.Events++
+
+	switch e.kind {
+	case evArrival:
+		s.handleArrival(e.job)
+	case evCompletion:
+		s.handleCompletion(e.jobID, e.version)
+	case evTick:
+		s.scheduler.Tick()
+		if !s.opts.Service && s.stalled() {
+			return true
+		}
+		if s.opts.Service || !s.idle() {
+			s.pushEvent(event{at: s.now + s.opts.TickInterval, kind: evTick})
+		}
+	case evSample:
+		s.sample()
+		if s.opts.Service || !s.idle() {
+			s.pushEvent(event{at: s.now + s.opts.SampleInterval, kind: evSample})
+		}
+	case evFault:
+		s.faultsLeft--
+		s.handleFault(e.fault)
+	case evResubmit:
+		s.handleResubmit(e.jobID)
+	case evJobFail:
+		s.handleJobFailure(e.jobID, e.run)
+	}
+	return false
+}
+
+// postEvent runs the per-event epilogue shared by Run and RunUntil:
+// invariant checking, touched-journal reset, the controller-kill latch, and
+// the checkpoint cadence.
+func (s *Simulator) postEvent(kind eventKind) error {
+	if s.opts.Invariants {
+		if err := s.checkEventInvariants(); err != nil {
+			return fmt.Errorf("sim: invariant violated after %v event at t=%v: %w", kind, s.now, err)
+		}
+	}
+	// The touched journals only matter to the delta checker above;
+	// resetting them unconditionally keeps them from growing when
+	// checking is off.
+	s.cluster.ResetTouched()
+	s.touchedJobs = s.touchedJobs[:0]
+	if s.killed {
+		// Died mid-run: no finalize, no results. State up to the latest
+		// checkpoint survives; everything after it is lost, exactly like
+		// a real scheduler crash.
+		return ErrControllerKilled
+	}
+	if err := s.maybeCheckpoint(); err != nil {
+		return fmt.Errorf("sim: checkpoint at t=%v: %w", s.now, err)
+	}
+	return nil
 }
 
 func (s *Simulator) handleArrival(j *job.Job) {

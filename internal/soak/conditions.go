@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/coda-repro/coda/internal/checkpoint"
+	"github.com/coda-repro/coda/internal/ctl"
 	"github.com/coda-repro/coda/internal/sim"
 )
 
@@ -50,6 +51,9 @@ func Eval(c Condition, o *Outcome) Verdict {
 	}
 	if c.Check == CheckResumeEquivalence {
 		return evalResumeEquivalence(c, o)
+	}
+	if c.Check == CheckServeKillEquivalence {
+		return evalServeKillEquivalence(c, o)
 	}
 
 	res := o.Result
@@ -211,6 +215,42 @@ func evalResumeEquivalence(c Condition, o *Outcome) Verdict {
 	}
 	if !compare(c, v.Measured) {
 		v.Detail = fmt.Sprintf("controller died %d times; the condition demands at least %g to prove anything", deaths, c.Threshold)
+		return v
+	}
+	v.Pass = true
+	return v
+}
+
+// evalServeKillEquivalence runs the control-plane drill over the cell's
+// spec: its trace becomes a scripted request stream (with drop/dup/swap
+// client chaos and periodic cancels), served once uninterrupted and once
+// through Threshold seeded process kills, each recovered from the latest
+// machine checkpoint plus a WAL suffix replay. Measured is the number of
+// kills survived; byte-identity of the two final dumps is mandatory.
+func evalServeKillEquivalence(c Condition, o *Outcome) Verdict {
+	v := Verdict{Check: string(c.Check), Threshold: c.Threshold}
+	spec := o.Spec
+	drill := ctl.DrillConfig{
+		Seed:            spec.Options.Seed,
+		Chaos:           ctl.RequestChaos{DropProb: 0.05, DupProb: 0.05, SwapProb: 0.1},
+		Kills:           int(c.Threshold),
+		CancelEvery:     10,
+		Tick:            5 * time.Minute,
+		CheckpointEvery: 20,
+		Horizon:         spec.Options.MaxVirtualTime,
+	}
+	rep, err := ctl.RunKillDrill(spec.Options, spec.NewScheduler, spec.Jobs, drill)
+	if err != nil {
+		v.Detail = "drill failed: " + err.Error()
+		return v
+	}
+	v.Measured = float64(rep.Kills)
+	if rep.Diff != "" {
+		v.Detail = "kill-and-recover diverged from the uninterrupted serve at " + rep.Diff
+		return v
+	}
+	if !compare(c, v.Measured) {
+		v.Detail = fmt.Sprintf("serving process died %d times; the condition demands at least %g to prove anything", rep.Kills, c.Threshold)
 		return v
 	}
 	v.Pass = true

@@ -22,6 +22,7 @@ func Recipes() []Recipe {
 		drainHalfClusterMidmonth(),
 		telemetryDarkWeek(),
 		stragglerCascade(),
+		serveKillStorm(),
 	}
 }
 
@@ -235,6 +236,41 @@ func telemetryDarkWeek() Recipe {
 					chaos.Fault{At: end, Kind: chaos.KindMembwRestore, Node: n})
 			}
 			return buildSpec("telemetry-dark-week", seed, sc, plan)
+		},
+	}
+}
+
+// serveKillStorm is the control-plane analog of controllerKillStorm: fixed
+// serve-process kills punctuate the run while light node churn and job
+// failures keep the cluster moving. The in-sim ServeKill faults only count
+// (the engine never dies); the serve-kill-equivalence condition runs the
+// actual drill — the same request stream served through real process kills
+// recovered from the write-ahead log must match the uninterrupted serve
+// byte for byte.
+func serveKillStorm() Recipe {
+	return Recipe{
+		Name:        "serve-kill-storm",
+		Description: "fixed serve-process kills over light churn; proves WAL kill-and-recover byte-identity",
+		Conditions: []Condition{
+			cond(CheckServeKillEquivalence, 3),
+			cond(CheckCompletionFloor, 0.9),
+			cond(CheckFaultCountersSane, 1),
+			cond(CheckInvariantsClean, 1),
+		},
+		build: func(seed int64, sc Scale) (sim.RunSpec, error) {
+			h := sc.Duration()
+			plan := chaos.Plan{
+				Horizon:           h,
+				NodeCrashesPerDay: 2,
+				CrashDowntime:     30 * time.Minute,
+				JobFailureProb:    0.01,
+				Faults: []chaos.Fault{
+					{At: h / 4, Kind: chaos.KindServeKill},
+					{At: h / 2, Kind: chaos.KindServeKill},
+					{At: 3 * h / 4, Kind: chaos.KindServeKill},
+				},
+			}
+			return buildSpec("serve-kill-storm", seed, sc, plan)
 		},
 	}
 }

@@ -133,6 +133,13 @@ const (
 	// (proven via sim.FirstDiff) AND at least threshold kills were
 	// survived, so a kill-free run cannot vacuously pass.
 	CheckResumeEquivalence CheckKind = "resume-equivalence"
+	// CheckServeKillEquivalence runs the control-plane kill-and-recover
+	// drill (ctl.RunKillDrill) over the cell's spec: the same scripted
+	// request stream is served once uninterrupted and once through seeded
+	// process kills recovered from checkpoint + WAL suffix replay. It
+	// measures the number of kills survived and fails unless the two final
+	// dumps are byte-identical AND at least threshold kills happened.
+	CheckServeKillEquivalence CheckKind = "serve-kill-equivalence"
 )
 
 // checkInfo is the per-check metadata: direction and threshold domain.
@@ -156,6 +163,7 @@ var checkTable = []checkInfo{
 	{kind: CheckDegradedSamplesFloor},
 	{kind: CheckControllerKillsFloor},
 	{kind: CheckResumeEquivalence},
+	{kind: CheckServeKillEquivalence},
 }
 
 var checkByName = func() map[CheckKind]checkInfo {
