@@ -28,8 +28,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("coda-bench", flag.ContinueOnError)
-	scaleName := fs.String("scale", "small", "trace scale: tiny, small or full")
-	only := fs.String("only", "", "run one experiment: fig1,fig2,fig3,fig5,fig6,fig7,table1,fig10,fig11,fig12,fig13,fig14,sec6e,sec6g,static,table2,ablations,multiseed,macro")
+	scaleName := fs.String("scale", "small", "trace scale: tiny, small, full or warehouse")
+	only := fs.String("only", "", "run one experiment: fig1,fig2,fig3,fig5,fig6,fig7,table1,fig10,fig11,fig12,fig13,fig14,sec6e,sec6g,static,table2,ablations,multiseed,macro,memgate,scalecurve")
 	seed := fs.Int64("seed", 1, "random seed")
 	csvDir := fs.String("csv", "", "also export plottable figure data as CSV files into this directory")
 	parallel := fs.Int("parallel", 0, "worker-pool width for experiment matrices (0 = GOMAXPROCS)")
@@ -37,6 +37,7 @@ func run(args []string) error {
 	benchJSON := fs.String("bench-json", "", "write macro-benchmark measurements to this JSON file (BENCH_<name>.json)")
 	benchBaseline := fs.String("bench-baseline", "", "compare macro-benchmark events/sec against this baseline JSON and fail on regression")
 	benchTolerance := fs.Float64("bench-tolerance", 0.20, "allowed fractional events/sec drop vs -bench-baseline before failing")
+	memGateBytes := fs.Float64("memgate-bytes-per-job", 256, "memgate: allowed peak-heap growth per extra job before failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +55,8 @@ func run(args []string) error {
 		sc = experiments.SmallScale()
 	case "full":
 		sc = experiments.FullScale()
+	case "warehouse":
+		sc = experiments.WarehouseScale()
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
@@ -87,13 +90,16 @@ func run(args []string) error {
 		{"ablations", func() error { return printAblations(sc, *seed) }},
 		{"multiseed", func() error { return printMultiSeed(sc, *seed, *runs) }},
 		{"macro", func() error { return printMacro(sc, *scaleName, *benchJSON, *benchBaseline, *benchTolerance) }},
+		{"memgate", func() error { return printMemGate(sc, *scaleName, *benchJSON, *memGateBytes) }},
+		{"scalecurve", func() error { return printScaleCurveBench(*seed, *benchJSON) }},
 	}
+	timedOnly := map[string]bool{"macro": true, "memgate": true, "scalecurve": true}
 	for _, s := range sections {
 		if !want(s.name) {
 			continue
 		}
-		if s.name == "macro" && *only == "" {
-			continue // three timed full runs: only on explicit -only macro
+		if timedOnly[s.name] && *only == "" {
+			continue // timed full runs: only on an explicit -only request
 		}
 		if err := s.run(); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)

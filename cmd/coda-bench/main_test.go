@@ -37,6 +37,24 @@ func TestRunMultiSeedSection(t *testing.T) {
 	}
 }
 
+func TestMemGateSection(t *testing.T) {
+	// The tiny gate runs three streamed FIFO sims (1x, 4x, 8x jobs) in about
+	// a second and must pass with the default threshold.
+	out := filepath.Join(t.TempDir(), "memgate.json")
+	if err := run([]string{"-scale", "tiny", "-only", "memgate", "-bench-json", out}); err != nil {
+		t.Fatalf("memgate: %v", err)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Errorf("memgate json: %v (size %d)", err, info.Size())
+	}
+	// A negative threshold is unsatisfiable (the slope is clamped at zero),
+	// so this exercises the failure path deterministically.
+	if err := run([]string{"-scale", "tiny", "-only", "memgate", "-memgate-bytes-per-job", "-1"}); err == nil {
+		t.Error("unsatisfiable memgate threshold should fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-scale", "galactic"}); err == nil {
 		t.Error("unknown scale should fail")

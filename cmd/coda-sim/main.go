@@ -6,6 +6,7 @@
 // Usage:
 //
 //	coda-sim -sched coda -days 3 -cpu-jobs 7500 -gpu-jobs 2500 -nodes 80
+//	coda-sim -sched coda -scale warehouse     # preset: 5,000 nodes, 1M jobs, streamed
 //	coda-sim -sched fifo -trace trace.jsonl
 //	coda-sim -sched coda -runs 5 -parallel 4   # 5-seed sweep on 4 workers
 //	coda-sim -sched coda -checkpoint-every 1h -checkpoint-dir ckpts
@@ -46,6 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("coda-sim", flag.ContinueOnError)
 	schedName := fs.String("sched", "coda", "scheduling policy: fifo, drf, static or coda")
+	scaleName := fs.String("scale", "", "scale preset overriding -days/-cpu-jobs/-gpu-jobs/-nodes: tiny, small, full or warehouse")
 	days := fs.Float64("days", 3, "trace duration in days")
 	cpuJobs := fs.Int("cpu-jobs", 7500, "CPU job count")
 	gpuJobs := fs.Int("gpu-jobs", 2500, "GPU (DNN training) job count")
@@ -77,6 +79,8 @@ func run(args []string) error {
 	killRate := fs.Float64("controller-kills-per-day", 0, "expected scheduler-process kills per simulated day")
 	exitOnKill := fs.Bool("exit-on-controller-kill", false, "die on an injected controller kill instead of only counting it (restart with -resume)")
 	survivedKills := fs.Int("survived-kills", 0, "controller kills already survived by earlier processes of this run (advanced; -resume sets this automatically)")
+	maxJobStats := fs.Int("max-job-stats", -1, "per-job history cap (-1 = auto: cap at 10000 and sketch CDFs above 200000 jobs; 0 = unbounded)")
+	compactCDFs := fs.Bool("compact-cdfs", false, "bound queue-time CDFs with a log-bucketed sketch instead of exact samples")
 	runs := fs.Int("runs", 1, "replay the trace under this many consecutive seeds and print per-run plus merged metrics")
 	parallel := fs.Int("parallel", 0, "worker-pool width for -runs > 1 (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
@@ -127,29 +131,54 @@ func run(args []string) error {
 	}
 
 	sc := experiments.Scale{Seed: *seed, Days: *days, CPUJobs: *cpuJobs, GPUJobs: *gpuJobs, Nodes: *nodes}
+	if *scaleName != "" {
+		switch *scaleName {
+		case "tiny":
+			sc = experiments.TinyScale()
+		case "small":
+			sc = experiments.SmallScale()
+		case "full":
+			sc = experiments.FullScale()
+		case "warehouse":
+			sc = experiments.WarehouseScale()
+		default:
+			return fmt.Errorf("unknown scale %q (want tiny, small, full or warehouse)", *scaleName)
+		}
+		sc.Seed = *seed
+	}
 	if err := sc.Validate(); err != nil {
 		return err
 	}
 
+	// Intake: a trace file replays as a materialized slice; a generated
+	// trace streams from a seeded source, so even the warehouse preset never
+	// holds more than the in-flight jobs in memory.
 	var jobs []*job.Job
-	var err error
+	var traceCfg *trace.Config
 	if *tracePath != "" {
 		f, ferr := os.Open(*tracePath)
 		if ferr != nil {
 			return ferr
 		}
 		defer f.Close()
-		jobs, err = trace.Read(f)
+		var rerr error
+		if jobs, rerr = trace.Read(f); rerr != nil {
+			return rerr
+		}
 	} else {
 		cfg := trace.DefaultConfig()
 		cfg.Seed = sc.Seed
 		cfg.Duration = sc.Duration()
 		cfg.CPUJobs = sc.CPUJobs
 		cfg.GPUJobs = sc.GPUJobs
-		jobs, err = trace.Generate(cfg)
+		if cerr := cfg.Validate(); cerr != nil {
+			return cerr
+		}
+		traceCfg = &cfg
 	}
-	if err != nil {
-		return err
+	jobCount := len(jobs)
+	if traceCfg != nil {
+		jobCount = traceCfg.CPUJobs + traceCfg.GPUJobs
 	}
 
 	opts := sim.DefaultOptions()
@@ -159,6 +188,18 @@ func run(args []string) error {
 	opts.MaxVirtualTime = sc.Duration() + 4*24*time.Hour
 	opts.Invariants = *invariants
 	opts.InvariantsEvery = *invariantsEvery
+	opts.CompactCDFs = *compactCDFs
+	switch {
+	case *maxJobStats > 0:
+		opts.MaxJobStats = *maxJobStats
+	case *maxJobStats < 0 && jobCount > 200_000:
+		// Auto-bound: an exact result is itself O(jobs) memory, which would
+		// defeat the streaming intake at warehouse scale.
+		opts.MaxJobStats = 10_000
+		opts.CompactCDFs = true
+		fmt.Fprintf(os.Stderr, "coda-sim: %d jobs: bounding per-job history to %d and sketching queue CDFs (override with -max-job-stats 0)\n",
+			jobCount, opts.MaxJobStats)
+	}
 
 	if *faultSeed == 0 {
 		*faultSeed = sc.Seed
@@ -204,7 +245,7 @@ func run(args []string) error {
 	}
 
 	if *runs > 1 {
-		return runMany(*runs, *parallel, opts, jobs, newPolicy, *ckptDir)
+		return runMany(*runs, *parallel, opts, jobs, traceCfg, newPolicy, *ckptDir)
 	}
 
 	policy, err := newPolicy()
@@ -248,6 +289,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("resumed from    %s (t=%v)\n", path, ck.Now.Truncate(time.Second))
+	} else if traceCfg != nil {
+		src, serr := trace.NewSource(*traceCfg)
+		if serr != nil {
+			return serr
+		}
+		if simulator, err = sim.NewStreaming(opts, policy, src); err != nil {
+			return err
+		}
 	} else if simulator, err = sim.New(opts, policy, jobs); err != nil {
 		return err
 	}
@@ -260,7 +309,7 @@ func run(args []string) error {
 	}
 	elapsed := time.Since(start)
 
-	printSummary(res, len(jobs), elapsed)
+	printSummary(res, jobCount, elapsed)
 	if *series {
 		printSeries(res)
 	}
@@ -320,8 +369,10 @@ func policyFactory(name string, opts sim.Options, noEliminator bool) (func() (sc
 // runMany replays the trace under runs consecutive seeds (noise and fault
 // streams both advance) on a bounded worker pool, then prints one line per
 // run and the merged aggregate. Results come back in matrix order, so the
-// output is deterministic regardless of -parallel.
-func runMany(runs, parallel int, opts sim.Options, jobs []*job.Job, newPolicy func() (sched.Scheduler, error), ckptDir string) error {
+// output is deterministic regardless of -parallel. A generated trace
+// (traceCfg non-nil) is streamed: every run builds its own source from the
+// shared config, so the sweep never materializes the jobs.
+func runMany(runs, parallel int, opts sim.Options, jobs []*job.Job, traceCfg *trace.Config, newPolicy func() (sched.Scheduler, error), ckptDir string) error {
 	var m runner.Matrix
 	for i := 0; i < runs; i++ {
 		o := opts.Clone()
@@ -340,6 +391,7 @@ func runMany(runs, parallel int, opts sim.Options, jobs []*job.Job, newPolicy fu
 			Name:         fmt.Sprintf("run-%d", i),
 			Options:      o,
 			Jobs:         jobs,
+			Trace:        traceCfg,
 			NewScheduler: newPolicy,
 		})
 	}
@@ -365,7 +417,11 @@ func runMany(runs, parallel int, opts sim.Options, jobs []*job.Job, newPolicy fu
 	if err != nil {
 		return err
 	}
-	printMerged(merged, len(jobs), elapsed)
+	jobsPerRun := len(jobs)
+	if traceCfg != nil {
+		jobsPerRun = traceCfg.CPUJobs + traceCfg.GPUJobs
+	}
+	printMerged(merged, jobsPerRun, elapsed)
 	return nil
 }
 

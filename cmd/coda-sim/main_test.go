@@ -57,6 +57,17 @@ func TestRunTraceReplay(t *testing.T) {
 	}
 }
 
+func TestScalePresets(t *testing.T) {
+	// The preset must parse and stream; tiny is the only one cheap enough to
+	// actually run here.
+	if err := run([]string{"-sched", "fifo", "-scale", "tiny"}); err != nil {
+		t.Fatalf("-scale tiny: %v", err)
+	}
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale preset should fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-sched", "quantum"}); err == nil {
 		t.Error("unknown scheduler should fail")

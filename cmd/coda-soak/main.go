@@ -36,7 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		recipe   = fs.String("recipe", "", "comma-separated recipe names (default: every recipe)")
 		seeds    = fs.Int("seeds", 2, "seeds per recipe: runs seed-base .. seed-base+seeds-1")
 		seedBase = fs.Int64("seed-base", 1, "first seed of the sweep")
-		scale    = fs.String("scale", "tiny", "matrix scale: tiny, small or full")
+		scale    = fs.String("scale", "tiny", "matrix scale: tiny, small, full or warehouse")
 		parallel = fs.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
 		jsonOut  = fs.Bool("json", false, "emit the verdict report as stable-ordered JSON on stdout")
 		conds    = fs.String("conditions", "", "extra check=threshold conditions for every selected recipe, comma-separated")

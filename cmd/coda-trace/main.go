@@ -5,7 +5,14 @@
 // Usage:
 //
 //	coda-trace -gen -days 30 -cpu-jobs 75000 -gpu-jobs 25000 -o trace.jsonl
+//	coda-trace -gen -stream -days 30 -cpu-jobs 18750000 -gpu-jobs 6250000 -o month.jsonl
+//	coda-trace -count-only -days 30 -cpu-jobs 18750000 -gpu-jobs 6250000
 //	coda-trace -stats trace.jsonl
+//
+// -stream spools jobs to the output one at a time instead of materializing
+// the slice, and -count-only summarizes the configured trace in a single
+// streaming pass without writing anything — both stay flat in memory at any
+// job count.
 package main
 
 import (
@@ -28,6 +35,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("coda-trace", flag.ContinueOnError)
 	gen := fs.Bool("gen", false, "generate a trace")
+	stream := fs.Bool("stream", false, "with -gen: stream jobs to the output instead of materializing the trace")
+	countOnly := fs.Bool("count-only", false, "summarize the configured trace in one streaming pass, writing nothing")
 	statsPath := fs.String("stats", "", "summarize an existing trace file")
 	out := fs.String("o", "", "output path for -gen (default stdout)")
 	days := fs.Float64("days", 30, "trace duration in days")
@@ -38,17 +47,20 @@ func run(args []string) error {
 		return err
 	}
 
+	cfg := trace.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Duration = time.Duration(*days * 24 * float64(time.Hour))
+	cfg.CPUJobs = *cpuJobs
+	cfg.GPUJobs = *gpuJobs
+
 	switch {
-	case *gen:
-		cfg := trace.DefaultConfig()
-		cfg.Seed = *seed
-		cfg.Duration = time.Duration(*days * 24 * float64(time.Hour))
-		cfg.CPUJobs = *cpuJobs
-		cfg.GPUJobs = *gpuJobs
-		jobs, err := trace.Generate(cfg)
+	case *countOnly:
+		src, err := trace.NewSource(cfg)
 		if err != nil {
 			return err
 		}
+		return drainStats(os.Stdout, src, nil)
+	case *gen:
 		w := os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)
@@ -58,11 +70,27 @@ func run(args []string) error {
 			defer f.Close()
 			w = f
 		}
+		if *stream {
+			src, err := trace.NewSource(cfg)
+			if err != nil {
+				return err
+			}
+			enc := trace.NewEncoder(w)
+			if err := drainStats(os.Stderr, src, enc.Encode); err != nil {
+				return err
+			}
+			return enc.Flush()
+		}
+		jobs, err := trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
 		if err := trace.Write(w, jobs); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d jobs\n", len(jobs))
-		printStats(os.Stderr, jobs, cfg.Duration)
+		printStats(os.Stderr, trace.Summarize(jobs),
+			trace.HourlyArrivals(jobs, cfg.Duration, isCPU))
 		return nil
 	case *statsPath != "":
 		f, err := os.Open(*statsPath)
@@ -80,15 +108,49 @@ func run(args []string) error {
 				last = j.Arrival
 			}
 		}
-		printStats(os.Stdout, jobs, last)
+		printStats(os.Stdout, trace.Summarize(jobs),
+			trace.HourlyArrivals(jobs, last, isCPU))
 		return nil
 	default:
-		return fmt.Errorf("pass -gen or -stats <file>")
+		return fmt.Errorf("pass -gen, -count-only or -stats <file>")
 	}
 }
 
-func printStats(w *os.File, jobs []*job.Job, duration time.Duration) {
-	s := trace.Summarize(jobs)
+func isCPU(j *job.Job) bool { return !j.IsGPU() }
+
+// drainStats pulls every job out of src exactly once, feeding the summary
+// and histogram accumulators (and, when sink is non-nil, the trace writer)
+// from the same pass, then prints the summary. Memory stays flat in the job
+// count: nothing downstream of the source holds more than one job.
+func drainStats(w *os.File, src *trace.Source, sink func(*job.Job) error) error {
+	var acc trace.StatsAccum
+	bins := trace.NewHourlyBins(src.Config().Duration)
+	n := 0
+	for {
+		j, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if j == nil {
+			break
+		}
+		acc.Observe(j)
+		bins.Observe(j, isCPU)
+		if sink != nil {
+			if err := sink(j); err != nil {
+				return err
+			}
+		}
+		n++
+	}
+	if sink != nil {
+		fmt.Fprintf(w, "wrote %d jobs (streamed)\n", n)
+	}
+	printStats(w, acc.Stats(), bins.Bins())
+	return nil
+}
+
+func printStats(w *os.File, s trace.Stats, bins []int) {
 	fmt.Fprintf(w, "jobs            %d (%d cpu, %d gpu, %d bandwidth hogs)\n",
 		s.Jobs, s.CPUJobs, s.GPUJobs, s.HogJobs)
 	fmt.Fprintf(w, "gpu job cores   1-2: %.1f%%  3-10: %.1f%%  >10: %.1f%%  (paper: 76.1 / 8.6 / 15.3)\n",
@@ -98,7 +160,6 @@ func printStats(w *os.File, jobs []*job.Job, duration time.Duration) {
 	fmt.Fprintf(w, "multi-node      %.1f%% of gpu jobs\n", s.MultiNodeFraction*100)
 
 	// Hour-of-day histogram of CPU arrivals (Fig. 1's diurnal pattern).
-	bins := trace.HourlyArrivals(jobs, duration, func(j *job.Job) bool { return !j.IsGPU() })
 	var byHour [24]int
 	for i, n := range bins {
 		byHour[i%24] += n

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,6 +19,41 @@ func TestGenerateAndStats(t *testing.T) {
 	}
 	if err := run([]string{"-stats", out}); err != nil {
 		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestStreamMatchesMaterialized(t *testing.T) {
+	// -gen -stream spools jobs through the incremental encoder; the file it
+	// writes must be byte-identical to the materialized path's.
+	dir := t.TempDir()
+	slice := filepath.Join(dir, "slice.jsonl")
+	streamed := filepath.Join(dir, "stream.jsonl")
+	args := []string{"-gen", "-days", "1", "-cpu-jobs", "50", "-gpu-jobs", "20", "-seed", "7"}
+	if err := run(append(args, "-o", slice)); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := run(append(args, "-stream", "-o", streamed)); err != nil {
+		t.Fatalf("gen -stream: %v", err)
+	}
+	a, err := os.ReadFile(slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("streamed trace differs from materialized trace (%d vs %d bytes)", len(b), len(a))
+	}
+}
+
+func TestCountOnly(t *testing.T) {
+	if err := run([]string{"-count-only", "-days", "1", "-cpu-jobs", "50", "-gpu-jobs", "20"}); err != nil {
+		t.Fatalf("count-only: %v", err)
+	}
+	if err := run([]string{"-count-only", "-days", "0"}); err == nil {
+		t.Error("count-only with zero duration should fail")
 	}
 }
 

@@ -48,6 +48,17 @@ func TinyScale() Scale {
 	return Scale{Seed: 1, Days: 1, CPUJobs: 2500, GPUJobs: 833, Nodes: 80}
 }
 
+// WarehouseScale is the operating point the streaming intake exists for: a
+// 5,000-node warehouse serving a million jobs in a simulated week, the
+// same arrival rate as the paper's month scaled ~40x. Only the streaming
+// specs (BenchSpec, MemGateSpec) are viable here — materializing the trace
+// or keeping per-job history is exactly the O(jobs) memory the refactor
+// removed. The documented ceiling of the same shape is the 25M-job month:
+// Days 30, CPUJobs 18,750,000, GPUJobs 6,250,000.
+func WarehouseScale() Scale {
+	return Scale{Seed: 1, Days: 7, CPUJobs: 750_000, GPUJobs: 250_000, Nodes: 5000}
+}
+
 // Validate checks the scale.
 func (s Scale) Validate() error {
 	if s.Days <= 0 {

@@ -27,12 +27,13 @@ func ScaleCurveMatrix(base Scale, nodeCounts []int) (*runner.Matrix, error) {
 	if len(nodeCounts) == 0 {
 		return nil, fmt.Errorf("experiments: scale curve needs at least one node count")
 	}
-	// The trace does not depend on the cluster shape: generate once, let
-	// Add deep-copy it into every cell.
-	jobs, err := base.generate()
-	if err != nil {
+	// The trace does not depend on the cluster shape: every cell streams
+	// the same seeded config, so the sweep never materializes the jobs
+	// even once.
+	if err := base.Validate(); err != nil {
 		return nil, err
 	}
+	cfg := base.traceConfig()
 	m := &runner.Matrix{}
 	for _, nodes := range nodeCounts {
 		if nodes <= 0 {
@@ -44,7 +45,7 @@ func ScaleCurveMatrix(base Scale, nodeCounts []int) (*runner.Matrix, error) {
 		m.Add(sim.RunSpec{
 			Name:         fmt.Sprintf("nodes=%d", nodes),
 			Options:      opts,
-			Jobs:         jobs,
+			Trace:        &cfg,
 			NewScheduler: newCODA(core.DefaultConfig(), opts.Cluster),
 		})
 	}

@@ -49,11 +49,12 @@ func DefaultVetConfig() VetConfig {
 	return VetConfig{
 		// The sealed engine: the sim event loop, every sched.Policy
 		// implementation (sched's FIFO/DRF/Static and core's CODA
-		// scheduler), and the state machines they drive.
+		// scheduler), the streaming trace source the event loop pulls
+		// arrivals from, and the state machines they drive.
 		PurityRoots: []string{
 			"internal/sim", "internal/sched", "internal/core",
 			"internal/cluster", "internal/membw", "internal/fair",
-			"internal/perfmodel", "internal/chaos",
+			"internal/perfmodel", "internal/chaos", "internal/trace",
 		},
 		// The runner (worker pool), the control plane (whose WAL fsyncs and
 		// HTTP surface are host-facing by design) and the CLIs are the only
@@ -68,7 +69,7 @@ func DefaultVetConfig() VetConfig {
 		CheckpointScope: []string{
 			"internal/sched", "internal/core", "internal/sim",
 			"internal/cluster", "internal/fair", "internal/membw",
-			"internal/ctl",
+			"internal/ctl", "internal/trace",
 		},
 	}
 }

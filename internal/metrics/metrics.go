@@ -127,24 +127,42 @@ func (s *Series) Downsample(width time.Duration) (*Series, error) {
 	return out, nil
 }
 
-// CDF accumulates duration samples and answers distribution queries.
+// CDF accumulates duration samples and answers distribution queries. It has
+// two storage modes: exact (every sample retained, the default) and sketch
+// (log-bucketed counts, O(1) memory in the sample count — see UseSketch).
 type CDF struct {
 	samples []time.Duration
 	sorted  bool
+	// Sketch mode (see sketch.go): fixed log-spaced buckets plus count and
+	// a float64 nanosecond sum for the mean.
+	sketch  bool
+	buckets []int64
+	count   int64
+	sumNs   float64
 }
 
 // Add appends a sample.
 func (c *CDF) Add(d time.Duration) {
+	if c.sketch {
+		c.addSketch(d)
+		return
+	}
 	c.samples = append(c.samples, d)
 	c.sorted = false
 }
 
 // Len returns the sample count.
-func (c *CDF) Len() int { return len(c.samples) }
+func (c *CDF) Len() int {
+	if c.sketch {
+		return int(c.count)
+	}
+	return len(c.samples)
+}
 
 // Grow pre-allocates capacity for n additional samples (see Series.Grow).
+// Sketch-mode CDFs have fixed storage and ignore it.
 func (c *CDF) Grow(n int) {
-	if n <= 0 {
+	if n <= 0 || c.sketch {
 		return
 	}
 	if free := cap(c.samples) - len(c.samples); free < n {
@@ -161,8 +179,12 @@ func (c *CDF) ensureSorted() {
 	}
 }
 
-// FractionAtMost returns the fraction of samples <= d, in [0, 1].
+// FractionAtMost returns the fraction of samples <= d, in [0, 1]. In
+// sketch mode d is resolved at bucket granularity.
 func (c *CDF) FractionAtMost(d time.Duration) float64 {
+	if c.sketch {
+		return c.sketchFractionAtMost(d)
+	}
 	if len(c.samples) == 0 {
 		return 0
 	}
@@ -173,16 +195,17 @@ func (c *CDF) FractionAtMost(d time.Duration) float64 {
 
 // FractionAbove returns the fraction of samples > d.
 func (c *CDF) FractionAbove(d time.Duration) float64 {
-	if len(c.samples) == 0 {
+	if c.Len() == 0 {
 		return 0
 	}
 	return 1 - c.FractionAtMost(d)
 }
 
 // Percentile returns the p-th percentile (p in [0, 100]) using the
-// nearest-rank method; 0 for an empty CDF.
+// nearest-rank method; 0 for an empty CDF. In sketch mode the answer is the
+// containing bucket's lower bound (at most 12.5% below the exact value).
 func (c *CDF) Percentile(p float64) time.Duration {
-	if len(c.samples) == 0 {
+	if c.Len() == 0 {
 		return 0
 	}
 	if p < 0 {
@@ -190,6 +213,13 @@ func (c *CDF) Percentile(p float64) time.Duration {
 	}
 	if p > 100 {
 		p = 100
+	}
+	if c.sketch {
+		rank := int64(math.Ceil(p / 100 * float64(c.count)))
+		if rank < 1 {
+			rank = 1
+		}
+		return c.sketchPercentile(rank)
 	}
 	c.ensureSorted()
 	rank := int(math.Ceil(p / 100 * float64(len(c.samples))))
@@ -201,6 +231,12 @@ func (c *CDF) Percentile(p float64) time.Duration {
 
 // Mean returns the arithmetic mean sample.
 func (c *CDF) Mean() time.Duration {
+	if c.sketch {
+		if c.count == 0 {
+			return 0
+		}
+		return time.Duration(c.sumNs / float64(c.count))
+	}
 	if len(c.samples) == 0 {
 		return 0
 	}
@@ -212,8 +248,12 @@ func (c *CDF) Mean() time.Duration {
 }
 
 // Points returns (duration, cumulative fraction) pairs suitable for
-// plotting the CDF at each distinct sample value.
+// plotting the CDF at each distinct sample value (each non-empty bucket in
+// sketch mode).
 func (c *CDF) Points() []CDFPoint {
+	if c.sketch {
+		return c.sketchPoints()
+	}
 	if len(c.samples) == 0 {
 		return nil
 	}
@@ -320,6 +360,9 @@ func (h *IntHistogram) Overflow() int { return h.overflow }
 // PerKeyCDF maintains one CDF per key (per-tenant queueing times, Fig. 12).
 type PerKeyCDF struct {
 	cdfs map[int]*CDF
+	// sketch makes every newly created per-key CDF a sketch (see
+	// NewPerKeyCDFSketch).
+	sketch bool
 }
 
 // NewPerKeyCDF builds an empty per-key CDF collection.
@@ -332,6 +375,9 @@ func (p *PerKeyCDF) Add(key int, d time.Duration) {
 	c, ok := p.cdfs[key]
 	if !ok {
 		c = &CDF{}
+		if p.sketch {
+			c.UseSketch()
+		}
 		p.cdfs[key] = c
 	}
 	c.Add(d)

@@ -143,6 +143,7 @@ func (s *Simulator) killJob(r *runningJob) {
 	s.retries[id]++
 	if s.retries[id] > s.opts.Faults.Retries() {
 		s.terminalJobs++
+		delete(s.startedOnce, id)
 		s.results.noteTerminal(id, remaining)
 		return
 	}

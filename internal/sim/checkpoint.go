@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,7 +14,16 @@ import (
 	"github.com/coda-repro/coda/internal/membw"
 	"github.com/coda-repro/coda/internal/perfmodel"
 	"github.com/coda-repro/coda/internal/sched"
+	"github.com/coda-repro/coda/internal/trace"
 )
+
+// maxCheckpointJobs bounds the pending + retrying job sets a checkpoint
+// will serialize (and Resume will accept). At warehouse scale a scheduler
+// bug that stops placing jobs would otherwise accumulate millions of
+// pending jobs and turn every checkpoint into an OOM; the bound converts
+// that into a loud, attributable error long before the allocator dies. It
+// is a var so tests can tighten it.
+var maxCheckpointJobs = 2_000_000
 
 // This file is the simulator side of crash-consistent checkpoint/restore:
 // Checkpoint captures every piece of mutable state a run accumulates — the
@@ -36,8 +44,10 @@ var ErrControllerKilled = errors.New("sim: controller killed by fault injection"
 // serialize it before returning and must not retain the pointer.
 type CheckpointSink func(*Checkpoint) error
 
-// EventState is one serialized event-heap entry, stored in heap-array order
-// so restore is a verbatim copy.
+// EventState is one serialized pending event, stored canonically sorted by
+// (At, Seq): the order is independent of which eventQueue implementation
+// the run used, so a checkpoint taken under the binary heap resumes under
+// the calendar queue and vice versa.
 type EventState struct {
 	At      time.Duration
 	Seq     int64
@@ -92,9 +102,21 @@ type Checkpoint struct {
 	Running  []RunningState
 	PcieLoad []float64
 
+	// StartedOnce lists the in-flight jobs whose first start (and hence
+	// queue-time CDF sample) already happened: the running jobs plus any
+	// killed, preempted or resubmitted ones back in pending/retrying. Resume
+	// rebuilds the set so a restarted attempt is not sampled twice.
+	StartedOnce []job.ID `json:",omitempty"`
+
 	ArrivalsLeft int
 	LastArrival  time.Duration
 	StallCount   int
+
+	// Trace is the streaming-intake cursor (nil for materialized-slice
+	// runs): trace config, per-stream RNG draw counts and order-statistic
+	// state — everything trace.Resume needs to regenerate the one in-queue
+	// arrival (which Events deliberately omits) and the rest of the stream.
+	Trace *trace.Cursor `json:",omitempty"`
 
 	ChaosOn     bool
 	FaultsLeft  int
@@ -139,6 +161,11 @@ func (s *Simulator) Checkpoint() (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: checkpoint scheduler: %w", err)
 	}
+	if n := len(s.pending) + len(s.retrying); n > maxCheckpointJobs {
+		return nil, fmt.Errorf(
+			"sim: checkpoint at t=%v: %d pending+retrying jobs exceed the %d-job serialization bound (scheduler not draining the queue?)",
+			s.now, n, maxCheckpointJobs)
+	}
 
 	ck := &Checkpoint{
 		Options:  s.opts,
@@ -147,7 +174,6 @@ func (s *Simulator) Checkpoint() (*Checkpoint, error) {
 		RNGDraws: s.rngDraws,
 		Attempts: s.attempts,
 
-		Events:   make([]EventState, len(s.events)),
 		Pending:  sortedJobs(s.pending),
 		Retrying: sortedJobs(s.retrying),
 		PcieLoad: s.pcieLoad,
@@ -178,8 +204,29 @@ func (s *Simulator) Checkpoint() (*Checkpoint, error) {
 		Scheduler:     schedState,
 	}
 	ck.Options.CheckpointSink = nil
+	if s.source != nil {
+		// Copy the cursor: the checkpoint must not alias the live field,
+		// which queueNextArrival overwrites at the next arrival.
+		cur := s.sourceCursor
+		ck.Trace = &cur
+	}
 
-	for i, e := range s.events {
+	// Canonicalize the pending events to sorted (at, seq) order — the queue
+	// implementation's internal layout must not leak into the encoding. A
+	// streamed run's single in-queue arrival is skipped: Resume regenerates
+	// it (job and sequence number both) from the Trace cursor.
+	evs := s.events.appendAll(make([]*event, 0, s.events.len()))
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	ck.Events = make([]EventState, 0, len(evs))
+	for _, e := range evs {
+		if s.source != nil && e.kind == evArrival {
+			continue
+		}
 		es := EventState{
 			At: e.at, Seq: e.seq, Kind: int(e.kind),
 			Job: e.job, JobID: e.jobID, Version: e.version, Fault: e.fault,
@@ -187,7 +234,7 @@ func (s *Simulator) Checkpoint() (*Checkpoint, error) {
 		if e.run != nil {
 			es.RunAttempt = e.run.attempt
 		}
-		ck.Events[i] = es
+		ck.Events = append(ck.Events, es)
 	}
 	//coda:ordered-ok entries are sorted below before serialization
 	for _, r := range s.running {
@@ -208,6 +255,11 @@ func (s *Simulator) Checkpoint() (*Checkpoint, error) {
 		ck.FailedOnce = append(ck.FailedOnce, id)
 	}
 	sort.Slice(ck.FailedOnce, func(i, j int) bool { return ck.FailedOnce[i] < ck.FailedOnce[j] })
+	//coda:ordered-ok entries are sorted below before serialization
+	for id := range s.startedOnce {
+		ck.StartedOnce = append(ck.StartedOnce, id)
+	}
+	sort.Slice(ck.StartedOnce, func(i, j int) bool { return ck.StartedOnce[i] < ck.StartedOnce[j] })
 	return ck, nil
 }
 
@@ -252,6 +304,11 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 	if len(ck.PcieLoad) != nodes {
 		return nil, fmt.Errorf("sim: resume: %d pcie loads for %d nodes", len(ck.PcieLoad), nodes)
 	}
+	if n := len(ck.Pending) + len(ck.Retrying); n > maxCheckpointJobs {
+		return nil, fmt.Errorf(
+			"sim: resume: %d pending+retrying jobs exceed the %d-job checkpoint bound (corrupt or runaway checkpoint)",
+			n, maxCheckpointJobs)
+	}
 
 	c, err := cluster.New(opts.Cluster)
 	if err != nil {
@@ -274,6 +331,7 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 		monitor:     mon,
 		scheduler:   scheduler,
 		rng:         rand.New(rand.NewSource(opts.Seed)),
+		events:      newEventQueue(opts),
 		pending:     make(map[job.ID]*job.Job, len(ck.Pending)),
 		running:     make(map[job.ID]*runningJob, len(ck.Running)),
 		pcieLoad:    append([]float64(nil), ck.PcieLoad...),
@@ -342,6 +400,28 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 		}
 	}
 
+	s.startedOnce = make(map[job.ID]bool, len(ck.StartedOnce))
+	if len(ck.StartedOnce) > 0 {
+		for _, id := range ck.StartedOnce {
+			s.startedOnce[id] = true
+		}
+	} else {
+		// Checkpoints written before StartedOnce existed omit the field;
+		// those predate MaxJobStats too, so the per-job records are complete
+		// and the set can be rebuilt from them.
+		for id, js := range ck.Results.Jobs {
+			if js.Started && !js.Completed && !js.TerminallyFailed && !js.Cancelled {
+				s.startedOnce[id] = true
+			}
+		}
+	}
+	//coda:ordered-ok error reporting on a corrupt checkpoint; any witness will do
+	for id := range s.running {
+		if !s.startedOnce[id] {
+			return nil, fmt.Errorf("sim: resume: running job %d not marked as started", id)
+		}
+	}
+
 	if ck.ChaosOn {
 		s.chaosOn = true
 		s.faultsLeft = ck.FaultsLeft
@@ -375,11 +455,13 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 		return nil, errors.New("sim: resume: chaos state present but chaos is off")
 	}
 
-	s.events = make(eventHeap, len(ck.Events))
 	for i, es := range ck.Events {
 		kind := eventKind(es.Kind)
 		switch kind {
 		case evArrival:
+			if ck.Trace != nil {
+				return nil, fmt.Errorf("sim: resume: streamed checkpoint carries materialized arrival event %d", i)
+			}
 			if es.Job == nil {
 				return nil, fmt.Errorf("sim: resume: arrival event %d carries no job", i)
 			}
@@ -399,9 +481,24 @@ func Resume(ck *Checkpoint, scheduler sched.Scheduler, sink CheckpointSink) (*Si
 				e.run = r
 			}
 		}
-		s.events[i] = e
+		s.events.push(e)
 	}
-	heap.Init(&s.events)
+
+	if ck.Trace != nil {
+		src, err := trace.Resume(*ck.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("sim: resume trace source: %w", err)
+		}
+		s.source = src
+		s.totalJobs = src.Total()
+		// Regenerate the arrival the checkpoint skipped: the cursor was
+		// captured immediately before that job was drawn, so the first
+		// draw of the resumed source is exactly it.
+		s.queueNextArrival()
+		if s.intakeErr != nil {
+			return nil, fmt.Errorf("sim: resume: %w", s.intakeErr)
+		}
+	}
 
 	if err := ckp.RestoreCheckpoint(ck.Scheduler); err != nil {
 		return nil, fmt.Errorf("sim: resume scheduler: %w", err)

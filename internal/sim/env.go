@@ -116,7 +116,11 @@ func (s *Simulator) StartJob(id job.ID, alloc job.Allocation) error {
 			s.cpuCoresOn[nid] += alloc.CPUCores
 		}
 	}
-	s.results.noteStart(j, s.now)
+	first := !s.startedOnce[id]
+	if first {
+		s.startedOnce[id] = true
+	}
+	s.results.noteStart(j, s.now, first)
 
 	// New load may slow neighbours; refresh the whole neighbourhood
 	// (including this job, whose speed is set by the same pass).

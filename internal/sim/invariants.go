@@ -164,6 +164,25 @@ func (s *Simulator) CheckInvariants() error {
 		}
 	}
 
+	// First-start accounting: a running job has by definition started, and a
+	// job marked started must still be in flight (the mark is dropped when
+	// the job completes, fails terminally or is cancelled).
+	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
+	for id := range s.running {
+		if !s.startedOnce[id] {
+			return fmt.Errorf("running job %d is not marked as started", id)
+		}
+	}
+	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
+	for id := range s.startedOnce {
+		_, p := s.pending[id]
+		_, r := s.running[id]
+		_, b := s.retrying[id]
+		if !p && !r && !b {
+			return fmt.Errorf("job %d is marked started but is not in flight", id)
+		}
+	}
+
 	// Placement consistency, in sorted ID order for deterministic reports.
 	s.invIDs = s.invIDs[:0]
 	//coda:ordered-ok collected IDs are fully ordered by the sort below

@@ -9,7 +9,7 @@ import (
 
 // fakeResult builds a minimal hand-made Result for merge tests.
 func fakeResult(sched string, gpuQueue time.Duration, util float64, throttles int) *Result {
-	r := newResult(sched)
+	r := newResult(sched, false)
 	r.LastArrival = time.Hour
 	r.EndTime = 2 * time.Hour
 	r.GPUQueue.Add(gpuQueue)
@@ -27,6 +27,7 @@ func fakeResult(sched string, gpuQueue time.Duration, util float64, throttles in
 		Job:       &job.Job{ID: 1, Kind: job.KindGPUTraining},
 		Completed: true,
 	}
+	r.GPUJobsDone = 1
 	return r
 }
 

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// The pending-event priority queue behind the event loop. Two
+// implementations share one deterministic contract: events come out in
+// strictly ascending (at, seq) order, regardless of insertion order. The
+// binary heap is the default; the calendar queue trades the heap's O(log n)
+// per operation for O(1) bucket inserts at warehouse scale, where the queue
+// holds completions for hundreds of thousands of running jobs at once.
+//
+// Both implementations are storage only — no wall clock, no goroutines —
+// so swapping one for the other cannot change a run's event order, only
+// the constant factor of maintaining it. Checkpoints never record queue
+// internals: the snapshot is canonicalized to sorted (at, seq) order, so a
+// run checkpointed under one implementation resumes under any other.
+
+// Options.EventQueue values.
+const (
+	// EventQueueHeap selects the binary min-heap (the default).
+	EventQueueHeap = "heap"
+	// EventQueueCalendar selects the calendar queue: per-time-bucket
+	// min-heaps with a monotone cursor, sized for multi-million-event runs.
+	EventQueueCalendar = "calendar"
+)
+
+// eventQueue is the pending-event priority queue: pop yields the minimum
+// (at, seq) event.
+type eventQueue interface {
+	push(e *event)
+	// pop removes and returns the minimum event, nil when empty.
+	pop() *event
+	// peek returns the minimum event without removing it, nil when empty.
+	peek() *event
+	len() int
+	// appendAll appends every queued event to dst in no particular order;
+	// callers canonicalize by (at, seq) before relying on the order.
+	appendAll(dst []*event) []*event
+}
+
+// newEventQueue builds the queue Options.EventQueue selects. Options must
+// already be validated.
+func newEventQueue(opts Options) eventQueue {
+	if opts.EventQueue == EventQueueCalendar {
+		return newCalendarQueue(calendarWidth(opts.TickInterval))
+	}
+	return &binaryQueue{}
+}
+
+// binaryQueue is the eventHeap behind the eventQueue interface.
+type binaryQueue struct {
+	h eventHeap
+}
+
+func (q *binaryQueue) push(e *event) { heap.Push(&q.h, e) }
+
+func (q *binaryQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+
+func (q *binaryQueue) peek() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *binaryQueue) len() int { return len(q.h) }
+
+func (q *binaryQueue) appendAll(dst []*event) []*event { return append(dst, q.h...) }
+
+// calendarWidth clamps the bucket width: the tick interval keeps the front
+// bucket small (ticks land in every bucket of a live run), while the floor
+// and ceiling bound the cursor's forward scan to at most one step per
+// simulated second and the bucket population to at most an hour of events.
+func calendarWidth(tick time.Duration) time.Duration {
+	switch {
+	case tick < time.Second:
+		return time.Second
+	case tick > time.Hour:
+		return time.Hour
+	default:
+		return tick
+	}
+}
+
+// calendarQueue buckets events by at/width into per-bucket min-heaps and
+// pops from the lowest non-empty bucket. Simulated time only moves forward,
+// so the cursor's forward scan is monotone and its total cost over a run is
+// bounded by duration/width, not by the event count. Within a bucket the
+// per-bucket heap enforces exact (at, seq) order; across buckets the bucket
+// index enforces it, so pop order is identical to the binary heap's.
+type calendarQueue struct {
+	width time.Duration
+	slots map[int64]*eventHeap
+	// cur is the lowest bucket index that may hold events; size is the
+	// total queued event count.
+	cur  int64
+	size int
+}
+
+func newCalendarQueue(width time.Duration) *calendarQueue {
+	return &calendarQueue{width: width, slots: make(map[int64]*eventHeap)}
+}
+
+func (q *calendarQueue) bucket(at time.Duration) int64 { return int64(at / q.width) }
+
+func (q *calendarQueue) push(e *event) {
+	b := q.bucket(e.at)
+	if q.size == 0 || b < q.cur {
+		q.cur = b
+	}
+	slot := q.slots[b]
+	if slot == nil {
+		slot = &eventHeap{}
+		q.slots[b] = slot
+	}
+	heap.Push(slot, e)
+	q.size++
+}
+
+// front advances the cursor to the lowest non-empty bucket and returns its
+// heap, nil when the queue is empty.
+func (q *calendarQueue) front() *eventHeap {
+	if q.size == 0 {
+		return nil
+	}
+	for {
+		if slot, ok := q.slots[q.cur]; ok && slot.Len() > 0 {
+			return slot
+		}
+		q.cur++
+	}
+}
+
+func (q *calendarQueue) pop() *event {
+	slot := q.front()
+	if slot == nil {
+		return nil
+	}
+	e := heap.Pop(slot).(*event)
+	q.size--
+	if slot.Len() == 0 {
+		delete(q.slots, q.cur)
+	}
+	return e
+}
+
+func (q *calendarQueue) peek() *event {
+	slot := q.front()
+	if slot == nil {
+		return nil
+	}
+	return (*slot)[0]
+}
+
+func (q *calendarQueue) len() int { return q.size }
+
+func (q *calendarQueue) appendAll(dst []*event) []*event {
+	//coda:ordered-ok map order; callers canonicalize by (at, seq)
+	for _, slot := range q.slots {
+		dst = append(dst, *slot...)
+	}
+	return dst
+}

@@ -85,8 +85,15 @@ type Result struct {
 	GPUQueue, CPUQueue metrics.CDF
 	PerTenant          *metrics.PerKeyCDF
 
-	// Jobs maps every submitted job to its stats.
+	// Jobs maps submitted jobs to their stats. With Options.MaxJobStats set
+	// only the first N admitted jobs are tracked here (the aggregate
+	// counters and CDFs still see every job); 0 tracks all of them.
 	Jobs map[job.ID]*JobStats
+
+	// GPUJobsDone and CPUJobsDone count completions directly, independent
+	// of the Jobs map, so Summarize stays exact when per-job history is
+	// bounded by Options.MaxJobStats.
+	GPUJobsDone, CPUJobsDone int
 
 	// Throttles counts eliminator MBA interventions; Preemptions counts
 	// cross-array preemptions.
@@ -108,12 +115,18 @@ type Result struct {
 	PlacementQueries int64
 }
 
-func newResult(scheduler string) *Result {
-	return &Result{
+func newResult(scheduler string, compact bool) *Result {
+	r := &Result{
 		Scheduler: scheduler,
 		PerTenant: metrics.NewPerKeyCDF(),
 		Jobs:      make(map[job.ID]*JobStats),
 	}
+	if compact {
+		r.GPUQueue.UseSketch()
+		r.CPUQueue.UseSketch()
+		r.PerTenant = metrics.NewPerKeyCDFSketch()
+	}
+	return r
 }
 
 // growSeries pre-allocates every sampled series for n samples.
@@ -128,9 +141,12 @@ func (r *Result) growSeries(n int) {
 	r.QueuedGPUDemand.Grow(n)
 }
 
-func (r *Result) noteArrival(j *job.Job) {
+func (r *Result) noteArrival(j *job.Job, maxJobs int) {
 	if _, ok := r.Jobs[j.ID]; ok {
 		return // preempted requeue keeps the original record
+	}
+	if maxJobs > 0 && len(r.Jobs) >= maxJobs {
+		return // keep-first-N bound; aggregates still observe this job
 	}
 	r.Jobs[j.ID] = &JobStats{
 		Job:        j,
@@ -139,26 +155,32 @@ func (r *Result) noteArrival(j *job.Job) {
 	}
 }
 
-func (r *Result) noteStart(j *job.Job, now time.Duration) {
-	js, ok := r.Jobs[j.ID]
-	if !ok {
-		return
+// noteStart records a start. The simulator computes first (from its
+// startedOnce set, which outlives the bounded Jobs map) so the queue-time
+// sample lands in the aggregate CDFs for every job, tracked or not.
+func (r *Result) noteStart(j *job.Job, now time.Duration, first bool) {
+	if !first {
+		return // restart after a kill or preemption: queue time already recorded
 	}
-	if js.Started {
-		return // restart after preemption: queue time already recorded
-	}
-	js.Started = true
-	js.FirstStart = now
-	q := now - js.Arrival
+	q := now - j.Arrival
 	if j.IsGPU() {
 		r.GPUQueue.Add(q)
 	} else {
 		r.CPUQueue.Add(q)
 	}
 	r.PerTenant.Add(int(j.Tenant), q)
+	if js, ok := r.Jobs[j.ID]; ok {
+		js.Started = true
+		js.FirstStart = now
+	}
 }
 
 func (r *Result) noteCompletion(run *runningJob, now time.Duration) {
+	if run.job.IsGPU() {
+		r.GPUJobsDone++
+	} else {
+		r.CPUJobsDone++
+	}
 	js, ok := r.Jobs[run.job.ID]
 	if !ok {
 		return
@@ -408,17 +430,9 @@ func (r *Result) Summarize() Summary {
 		CPUActiveRate: WindowMean(&r.CPUActive, r.LastArrival),
 		CPUUtil:       WindowMean(&r.CPUUtilSeries, r.LastArrival),
 		FragRate:      WindowMean(&r.FragSeries, r.LastArrival),
+		GPUJobsDone:   r.GPUJobsDone,
+		CPUJobsDone:   r.CPUJobsDone,
 		MakeSpan:      r.EndTime,
-	}
-	for _, js := range r.Jobs {
-		if !js.Completed {
-			continue
-		}
-		if js.Job.IsGPU() {
-			sm.GPUJobsDone++
-		} else {
-			sm.CPUJobsDone++
-		}
 	}
 	return sm
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -34,10 +33,14 @@ func (s *Simulator) RunUntil(t time.Duration) error {
 		return fmt.Errorf("sim: RunUntil(%v) is in the past (now %v)", t, s.now)
 	}
 	s.bootstrap()
-	for s.events.Len() > 0 && s.events[0].at <= t {
-		e, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			return errors.New("sim: corrupt event heap")
+	for {
+		next := s.events.peek()
+		if next == nil || next.at > t {
+			break
+		}
+		e := s.events.pop()
+		if e == nil {
+			return errors.New("sim: corrupt event queue")
 		}
 		s.dispatch(e)
 		if err := s.postEvent(e.kind); err != nil {
@@ -138,6 +141,7 @@ func (s *Simulator) CancelJob(id job.ID) error {
 		s.advance(r)
 		s.stopJob(r)
 		s.cancelledJobs++
+		delete(s.startedOnce, id)
 		s.results.noteCancel(id)
 		s.scheduler.OnJobKilled(r.job)
 		return nil
@@ -150,6 +154,7 @@ func (s *Simulator) CancelJob(id job.ID) error {
 		delete(s.pending, id)
 		s.touchJob(id)
 		s.cancelledJobs++
+		delete(s.startedOnce, id)
 		s.results.noteCancel(id)
 		c.OnJobCancelled(j)
 		return nil
@@ -158,6 +163,7 @@ func (s *Simulator) CancelJob(id job.ID) error {
 		delete(s.retrying, id)
 		s.touchJob(id)
 		s.cancelledJobs++
+		delete(s.startedOnce, id)
 		s.results.noteCancel(id)
 		return nil
 	}

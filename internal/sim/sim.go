@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,6 +21,7 @@ import (
 	"github.com/coda-repro/coda/internal/membw"
 	"github.com/coda-repro/coda/internal/perfmodel"
 	"github.com/coda-repro/coda/internal/sched"
+	"github.com/coda-repro/coda/internal/trace"
 )
 
 // Options configures a simulation run.
@@ -76,6 +76,23 @@ type Options struct {
 	// false the kill is only counted — that is the baseline an interrupted-
 	// and-resumed run must reproduce bit-for-bit.
 	ExitOnControllerKill bool
+	// EventQueue selects the pending-event queue implementation: "" or
+	// EventQueueHeap for the binary min-heap, EventQueueCalendar for the
+	// bucketed calendar queue. The choice cannot affect event order (both
+	// pop in exact (at, seq) order), only the cost of maintaining it;
+	// warehouse-scale presets pick the calendar queue.
+	EventQueue string
+	// MaxJobStats bounds the per-job history kept in Result.Jobs: only the
+	// first N admitted jobs get a JobStats record (aggregate counters and
+	// distributions still observe every job). 0 keeps every job, which is
+	// O(jobs) memory — fine at paper scale, not at 25M jobs.
+	MaxJobStats int
+	// CompactCDFs stores the queueing-time distributions (GPUQueue,
+	// CPUQueue, PerTenant) as log-bucketed sketches of ~500 fixed buckets
+	// instead of raw per-job samples, making result size independent of job
+	// count at ≤12.5% value resolution. Dumps of compact runs are not
+	// byte-comparable to dumps of exact runs.
+	CompactCDFs bool
 	// Service switches the simulator into control-plane mode: the run is
 	// driven incrementally with RunUntil instead of Run, jobs and faults are
 	// injected at the current virtual time (InjectArrival/InjectFault), jobs
@@ -123,6 +140,15 @@ func (o Options) Validate() error {
 	}
 	if o.CheckpointEveryEvents < 0 {
 		return fmt.Errorf("sim options: negative checkpoint event cadence %d", o.CheckpointEveryEvents)
+	}
+	switch o.EventQueue {
+	case "", EventQueueHeap, EventQueueCalendar:
+	default:
+		return fmt.Errorf("sim options: unknown event queue %q (want %q or %q)",
+			o.EventQueue, EventQueueHeap, EventQueueCalendar)
+	}
+	if o.MaxJobStats < 0 {
+		return fmt.Errorf("sim options: negative per-job stats bound %d", o.MaxJobStats)
 	}
 	if !o.Faults.Empty() {
 		if err := o.Faults.Validate(o.Cluster.TotalNodes()); err != nil {
@@ -251,8 +277,19 @@ type Simulator struct {
 	rng       *rand.Rand
 
 	now    time.Duration
-	events eventHeap
+	events eventQueue
 	seq    int64
+
+	// Streaming intake (nil source means the materialized-slice path).
+	// Exactly one arrival event sits in the queue at a time; handleArrival
+	// pulls the next one from the source on demand. sourceCursor is the
+	// source state captured immediately before drawing the queued arrival,
+	// so a checkpoint can regenerate it; totalJobs anchors the arrival
+	// sequence numbers; intakeErr latches a mid-run generation failure.
+	source       *trace.Source
+	sourceCursor trace.Cursor
+	totalJobs    int
+	intakeErr    error
 
 	// rngDraws counts measurement-noise draws so a resumed run can re-seed
 	// the generator and fast-forward to the same stream position.
@@ -262,6 +299,14 @@ type Simulator struct {
 
 	pending map[job.ID]*job.Job
 	running map[job.ID]*runningJob
+	// startedOnce marks jobs that started at least once and have not yet
+	// reached a terminal state. A job's queue-time sample fires exactly on
+	// its first start, and the aggregate CDFs must see every job even when
+	// Options.MaxJobStats bounds the per-job Jobs map — so first-start
+	// detection cannot live in the result records. Entries are deleted on
+	// completion, terminal failure and cancellation, keeping the set sized
+	// by the in-flight population, not the trace length.
+	startedOnce map[job.ID]bool
 	// pcieLoad is the per-node sum of GPU-job PCIe demands.
 	pcieLoad []float64
 
@@ -333,8 +378,11 @@ type Simulator struct {
 	results *Result
 }
 
-// New builds a simulator for the scheduler and trace.
-func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, error) {
+// newSimulator builds the trace-independent core shared by New (materialized
+// slice) and NewStreaming (lazy source): cluster, monitor, queue, result
+// containers. The caller seeds the intake path, arms chaos and binds the
+// scheduler.
+func newSimulator(opts Options, scheduler sched.Scheduler) (*Simulator, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -359,16 +407,62 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 		monitor:     mon,
 		scheduler:   scheduler,
 		rng:         rand.New(rand.NewSource(opts.Seed)),
+		events:      newEventQueue(opts),
 		pending:     make(map[job.ID]*job.Job),
 		running:     make(map[job.ID]*runningJob),
+		startedOnce: make(map[job.ID]bool),
 		pcieLoad:    make([]float64, opts.Cluster.TotalNodes()),
 		cpuCoresOn:  make([]int, opts.Cluster.TotalNodes()),
 		refreshSeen: make(map[job.ID]bool),
-		results:     newResult(scheduler.Name()),
+		results:     newResult(scheduler.Name(), opts.CompactCDFs),
 	}
 	if opts.CheckpointEvery > 0 {
 		s.nextCheckpointAt = opts.CheckpointEvery
 	}
+	if opts.MaxVirtualTime > 0 && opts.SampleInterval > 0 {
+		samples := int(opts.MaxVirtualTime/opts.SampleInterval) + 2
+		s.results.growSeries(samples)
+	}
+	return s, nil
+}
+
+// armChaos initializes fault-injection state and queues the compiled fault
+// schedule. It must run after the intake path has been seeded so fault
+// events sort after coincident arrivals in both intake modes.
+func (s *Simulator) armChaos() error {
+	opts := s.opts
+	// Service mode always initializes chaos state even with an empty plan:
+	// node drain/leave/join operations are delivered through the fault
+	// machinery at runtime.
+	if !opts.Faults.Empty() || opts.Service {
+		s.chaosOn = true
+		s.downDepth = make([]int, opts.Cluster.TotalNodes())
+		s.darkDepth = make([]int, opts.Cluster.TotalNodes())
+		s.slowFactors = make([][]float64, opts.Cluster.TotalNodes())
+		s.retries = make(map[job.ID]int)
+		s.retrying = make(map[job.ID]*job.Job)
+		s.failedOnce = make(map[job.ID]bool)
+	}
+	if !opts.Faults.Empty() {
+		faults, err := opts.Faults.Compile(opts.Cluster.TotalNodes())
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		for _, f := range faults {
+			s.pushEvent(event{at: f.At, kind: evFault, fault: f})
+			s.faultsLeft++
+		}
+	}
+	return nil
+}
+
+// New builds a simulator for the scheduler and a fully materialized trace.
+func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, error) {
+	s, err := newSimulator(opts, scheduler)
+	if err != nil {
+		return nil, err
+	}
+	s.totalJobs = len(jobs)
 	gpuJobs, cpuJobs := 0, 0
 	for _, j := range jobs {
 		if err := j.Validate(); err != nil {
@@ -389,34 +483,49 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 	// never grow it mid-flight.
 	s.results.GPUQueue.Grow(gpuJobs)
 	s.results.CPUQueue.Grow(cpuJobs)
-	if opts.MaxVirtualTime > 0 && opts.SampleInterval > 0 {
-		samples := int(opts.MaxVirtualTime/opts.SampleInterval) + 2
-		s.results.growSeries(samples)
-	}
 	s.admitted = s.arrivalsLeft
-	// Service mode always initializes chaos state even with an empty plan:
-	// node drain/leave/join operations are delivered through the fault
-	// machinery at runtime.
-	if !opts.Faults.Empty() || opts.Service {
-		s.chaosOn = true
-		s.downDepth = make([]int, opts.Cluster.TotalNodes())
-		s.darkDepth = make([]int, opts.Cluster.TotalNodes())
-		s.slowFactors = make([][]float64, opts.Cluster.TotalNodes())
-		s.retries = make(map[job.ID]int)
-		s.retrying = make(map[job.ID]*job.Job)
-		s.failedOnce = make(map[job.ID]bool)
-	}
-	if !opts.Faults.Empty() {
-		faults, err := opts.Faults.Compile(opts.Cluster.TotalNodes())
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-		for _, f := range faults {
-			s.pushEvent(event{at: f.At, kind: evFault, fault: f})
-			s.faultsLeft++
-		}
+	if err := s.armChaos(); err != nil {
+		return nil, err
 	}
 	s.results.LastArrival = s.lastArrival
+	scheduler.Bind(s)
+	return s, nil
+}
+
+// NewStreaming builds a simulator that pulls its trace lazily from src:
+// exactly one pending arrival event exists at any moment, so intake memory
+// is O(1) in the job count. The source must be freshly constructed (nothing
+// drained); the simulator takes ownership and drains it as the run advances.
+//
+// At identical Options and trace config, a streaming run's results are
+// byte-identical (per DumpResult) to a materialized New run over
+// trace.Generate of the same config.
+func NewStreaming(opts Options, scheduler sched.Scheduler, src *trace.Source) (*Simulator, error) {
+	if src == nil {
+		return nil, errors.New("sim: streaming trace source is nil")
+	}
+	if src.Remaining() != src.Total() {
+		return nil, fmt.Errorf("sim: streaming trace source already drained %d of %d jobs",
+			src.Total()-src.Remaining(), src.Total())
+	}
+	s, err := newSimulator(opts, scheduler)
+	if err != nil {
+		return nil, err
+	}
+	s.source = src
+	s.totalJobs = src.Total()
+	s.arrivalsLeft = s.totalJobs
+	s.admitted = s.totalJobs
+	cfg := src.Config()
+	s.results.GPUQueue.Grow(cfg.GPUJobs)
+	s.results.CPUQueue.Grow(cfg.CPUJobs)
+	s.queueNextArrival()
+	if s.intakeErr != nil {
+		return nil, fmt.Errorf("sim: %w", s.intakeErr)
+	}
+	if err := s.armChaos(); err != nil {
+		return nil, err
+	}
 	scheduler.Bind(s)
 	return s, nil
 }
@@ -424,22 +533,61 @@ func New(opts Options, scheduler sched.Scheduler, jobs []*job.Job) (*Simulator, 
 func (s *Simulator) push(e *event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
-// pushEvent queues ev, reusing a recycled heap entry when one is free so
-// the steady-state event loop allocates nothing per event.
-func (s *Simulator) pushEvent(ev event) {
-	var e *event
+// takeEvent returns a recycled queue entry when one is free so the
+// steady-state event loop allocates nothing per event.
+func (s *Simulator) takeEvent() *event {
 	if n := len(s.freeEvents); n > 0 {
-		e = s.freeEvents[n-1]
+		e := s.freeEvents[n-1]
 		s.freeEvents[n-1] = nil
 		s.freeEvents = s.freeEvents[:n-1]
-	} else {
-		e = new(event)
+		return e
 	}
+	return new(event)
+}
+
+// pushEvent queues ev with the next auto-assigned sequence number.
+func (s *Simulator) pushEvent(ev event) {
+	e := s.takeEvent()
 	*e = ev
 	s.push(e)
+}
+
+// pushArrival queues one streamed arrival. Its sequence number is not drawn
+// from s.seq but fixed by the job's position in the trace, negative so the
+// relative order against every other event kind reproduces the materialized
+// path exactly: there, arrival k gets seq k-1 and everything else starts at
+// totalJobs, so arrivals sort first at equal timestamps and among
+// themselves by ID; here, arrival k gets seq k-1-totalJobs (< 0) and
+// everything else starts at 0 — the same relative order, stream or slice.
+func (s *Simulator) pushArrival(j *job.Job) {
+	e := s.takeEvent()
+	*e = event{at: j.Arrival, seq: int64(j.ID) - 1 - int64(s.totalJobs), kind: evArrival, job: j}
+	s.events.push(e)
+}
+
+// queueNextArrival captures the source cursor, draws the next job and
+// queues its arrival event. Capturing the cursor before the draw is what
+// makes mid-stream checkpoints complete: a resumed source regenerates the
+// very job whose arrival event the checkpoint skipped. A generation error
+// latches intakeErr and aborts the run at the next event boundary.
+func (s *Simulator) queueNextArrival() {
+	s.sourceCursor = s.source.CheckpointState()
+	j, err := s.source.Next()
+	if err != nil {
+		s.intakeErr = fmt.Errorf("streaming intake: %w", err)
+		return
+	}
+	if j == nil {
+		return // source drained
+	}
+	if j.ID < 1 || int64(j.ID) > int64(s.totalJobs) {
+		s.intakeErr = fmt.Errorf("streaming intake: job ID %d outside trace range [1, %d]", j.ID, s.totalJobs)
+		return
+	}
+	s.pushArrival(j)
 }
 
 // recycleEvent returns a dispatched event to the free list. Only events
@@ -489,13 +637,13 @@ const maxEvents = 200_000_000
 func (s *Simulator) Run() (*Result, error) {
 	s.bootstrap()
 
-	for steps := 0; s.events.Len() > 0; steps++ {
+	for steps := 0; s.events.len() > 0; steps++ {
 		if steps > maxEvents {
 			return nil, fmt.Errorf("sim: exceeded %d events at t=%v (scheduler wedged?)", maxEvents, s.now)
 		}
-		e, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			return nil, errors.New("sim: corrupt event heap")
+		e := s.events.pop()
+		if e == nil {
+			return nil, errors.New("sim: corrupt event queue")
 		}
 		if s.opts.MaxVirtualTime > 0 && e.at > s.opts.MaxVirtualTime {
 			break
@@ -573,6 +721,9 @@ func (s *Simulator) dispatch(e *event) (stalled bool) {
 // invariant checking, touched-journal reset, the controller-kill latch, and
 // the checkpoint cadence.
 func (s *Simulator) postEvent(kind eventKind) error {
+	if s.intakeErr != nil {
+		return fmt.Errorf("sim: %w", s.intakeErr)
+	}
 	if s.opts.Invariants {
 		if err := s.checkEventInvariants(); err != nil {
 			return fmt.Errorf("sim: invariant violated after %v event at t=%v: %w", kind, s.now, err)
@@ -599,8 +750,18 @@ func (s *Simulator) handleArrival(j *job.Job) {
 	s.arrivalsLeft--
 	s.pending[j.ID] = j
 	s.touchJob(j.ID)
-	s.results.noteArrival(j)
+	// On-admit max-update: a no-op for the materialized path (New scanned
+	// the whole slice up front) but load-bearing for streaming intake,
+	// where nobody has seen the future arrivals yet.
+	if j.Arrival > s.lastArrival {
+		s.lastArrival = j.Arrival
+		s.results.LastArrival = s.lastArrival
+	}
+	s.results.noteArrival(j, s.opts.MaxJobStats)
 	s.scheduler.Submit(j)
+	if s.source != nil {
+		s.queueNextArrival()
+	}
 }
 
 // touchJob journals a job whose lifecycle state the current event changed;
@@ -620,6 +781,7 @@ func (s *Simulator) handleCompletion(id job.ID, version int64) {
 	}
 	s.stopJob(r)
 	s.completedJobs++
+	delete(s.startedOnce, id)
 	s.results.noteCompletion(r, s.now)
 	s.scheduler.OnJobCompleted(r.job)
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/coda-repro/coda/internal/job"
 	"github.com/coda-repro/coda/internal/sched"
+	"github.com/coda-repro/coda/internal/trace"
 )
 
 // Clone returns a deep copy of the options. Options is a value type except
@@ -30,9 +31,15 @@ type RunSpec struct {
 	Name string
 	// Options configures the simulator.
 	Options Options
-	// Jobs is the trace. Run hands these to the simulator without copying;
-	// clone the spec (or the jobs) before reusing it.
+	// Jobs is the materialized trace. Run hands these to the simulator
+	// without copying; clone the spec (or the jobs) before reusing it.
+	// Mutually exclusive with Trace.
 	Jobs []*job.Job
+	// Trace, when set, streams the trace lazily from a seeded source
+	// instead of materializing Jobs: each run (and each clone) constructs
+	// its own trace.Source from this config, so intake memory stays O(1)
+	// in the job count. Mutually exclusive with Jobs.
+	Trace *trace.Config
 	// NewScheduler builds the run's scheduler.
 	NewScheduler func() (sched.Scheduler, error)
 }
@@ -47,13 +54,35 @@ func (sp RunSpec) Clone() RunSpec {
 		jobs[i] = j.Clone()
 	}
 	sp.Jobs = jobs
+	if sp.Trace != nil {
+		cfg := *sp.Trace
+		sp.Trace = &cfg
+	}
 	return sp
+}
+
+// JobCount returns how many jobs the spec will submit, whichever intake
+// path it uses. For streaming specs this is arithmetic on the trace config,
+// not a walk of materialized jobs.
+func (sp RunSpec) JobCount() int {
+	if sp.Trace != nil {
+		return sp.Trace.CPUJobs + sp.Trace.GPUJobs
+	}
+	return len(sp.Jobs)
 }
 
 // Validate checks the spec without building anything.
 func (sp RunSpec) Validate() error {
 	if sp.NewScheduler == nil {
 		return fmt.Errorf("sim: run spec %q has no scheduler factory", sp.Name)
+	}
+	if sp.Trace != nil {
+		if len(sp.Jobs) > 0 {
+			return fmt.Errorf("sim: run spec %q sets both Jobs and Trace", sp.Name)
+		}
+		if err := sp.Trace.Validate(); err != nil {
+			return fmt.Errorf("sim: run spec %q: %w", sp.Name, err)
+		}
 	}
 	if err := sp.Options.Validate(); err != nil {
 		return fmt.Errorf("sim: run spec %q: %w", sp.Name, err)
@@ -72,9 +101,24 @@ func (sp RunSpec) Run() (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
 	}
-	simulator, err := New(sp.Options, scheduler, sp.Jobs)
-	if err != nil {
-		return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
+	var simulator *Simulator
+	if sp.Trace != nil {
+		if len(sp.Jobs) > 0 {
+			return nil, fmt.Errorf("sim: run %q sets both Jobs and Trace", sp.Name)
+		}
+		src, err := trace.NewSource(*sp.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
+		}
+		simulator, err = NewStreaming(sp.Options, scheduler, src)
+		if err != nil {
+			return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
+		}
+	} else {
+		simulator, err = New(sp.Options, scheduler, sp.Jobs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: run %q: %w", sp.Name, err)
+		}
 	}
 	res, err := simulator.Run()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"github.com/coda-repro/coda/internal/checkpoint"
 	"github.com/coda-repro/coda/internal/ctl"
 	"github.com/coda-repro/coda/internal/sim"
+	"github.com/coda-repro/coda/internal/trace"
 )
 
 // Outcome is one executed matrix cell: the pristine spec it was built
@@ -239,7 +240,19 @@ func evalServeKillEquivalence(c Condition, o *Outcome) Verdict {
 		CheckpointEvery: 20,
 		Horizon:         spec.Options.MaxVirtualTime,
 	}
-	rep, err := ctl.RunKillDrill(spec.Options, spec.NewScheduler, spec.Jobs, drill)
+	// The drill scripts a request stream from explicit jobs; a streaming
+	// spec materializes them here, where the drill's own memory needs
+	// (request log, WAL) are O(jobs) anyway.
+	jobs := spec.Jobs
+	if spec.Trace != nil {
+		var err error
+		jobs, err = trace.Generate(*spec.Trace)
+		if err != nil {
+			v.Detail = "drill trace: " + err.Error()
+			return v
+		}
+	}
+	rep, err := ctl.RunKillDrill(spec.Options, spec.NewScheduler, jobs, drill)
 	if err != nil {
 		v.Detail = "drill failed: " + err.Error()
 		return v
@@ -267,6 +280,17 @@ func startOrResume(template sim.RunSpec, latest []byte, sink sim.CheckpointSink)
 	}
 	if latest == nil {
 		fresh := template.Clone()
+		if fresh.Trace != nil {
+			src, err := trace.NewSource(*fresh.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("replay trace source: %w", err)
+			}
+			s, err := sim.NewStreaming(fresh.Options, scheduler, src)
+			if err != nil {
+				return nil, fmt.Errorf("replay cold start: %w", err)
+			}
+			return s, nil
+		}
 		s, err := sim.New(fresh.Options, scheduler, fresh.Jobs)
 		if err != nil {
 			return nil, fmt.Errorf("replay cold start: %w", err)

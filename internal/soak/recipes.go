@@ -47,8 +47,7 @@ func buildSpec(recipe string, seed int64, sc Scale, plan chaos.Plan) (sim.RunSpe
 	cfg.Duration = sc.Duration()
 	cfg.CPUJobs = sc.CPUJobs
 	cfg.GPUJobs = sc.GPUJobs
-	jobs, err := trace.Generate(cfg)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return sim.RunSpec{}, fmt.Errorf("soak: recipe %s: trace: %w", recipe, err)
 	}
 
@@ -72,7 +71,9 @@ func buildSpec(recipe string, seed int64, sc Scale, plan chaos.Plan) (sim.RunSpe
 	return sim.RunSpec{
 		Name:    fmt.Sprintf("%s/seed=%d", recipe, seed),
 		Options: opts,
-		Jobs:    jobs,
+		// Streaming intake: each run constructs its own seeded source from
+		// this config, so a month-scale cell never materializes its jobs.
+		Trace: &cfg,
 		NewScheduler: func() (sched.Scheduler, error) {
 			return core.New(core.DefaultConfig(), cc.Nodes, cc.CoresPerNode, cc.GPUsPerNode)
 		},

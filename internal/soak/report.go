@@ -170,7 +170,7 @@ func RunMatrix(ctx context.Context, ms MatrixSpec) (*Report, error) {
 			Recipe: c.recipe.Name,
 			Seed:   c.seed,
 			Name:   c.spec.Name,
-			Jobs:   len(c.spec.Jobs),
+			Jobs:   c.spec.JobCount(),
 		}
 		outcome := &Outcome{Spec: c.spec, Result: results[i], Err: errs[i]}
 		if errs[i] != nil {

@@ -29,7 +29,7 @@ import (
 // fractions of the scale's duration, so one recipe definition works at
 // every scale.
 type Scale struct {
-	// Name is the preset name ("tiny", "small", "full").
+	// Name is the preset name ("tiny", "small", "full", "warehouse").
 	Name string `json:"name"`
 	// Days is the trace duration in simulated days.
 	Days float64 `json:"days"`
@@ -41,11 +41,24 @@ type Scale struct {
 }
 
 // The scale presets. Tiny is sized for CI under -race: half a simulated
-// day on a 16-node cluster. Full is the paper-shaped month on the 80-node
-// cluster, matching trace.DefaultConfig.
-func TinyScale() Scale  { return Scale{Name: "tiny", Days: 0.5, CPUJobs: 300, GPUJobs: 100, Nodes: 16} }
+// day on a 24-node cluster — 120 GPUs against ~675 expected GPU-hours of
+// demand, enough headroom that verdicts measure the scheduler, not the
+// luck of one 100-job sample path (a heavy draw can reach ~800 GPU-hours
+// with a 100-GPU instantaneous peak). Full is the paper-shaped month on
+// the 80-node cluster, matching trace.DefaultConfig.
+func TinyScale() Scale  { return Scale{Name: "tiny", Days: 0.5, CPUJobs: 300, GPUJobs: 100, Nodes: 24} }
 func SmallScale() Scale { return Scale{Name: "small", Days: 3, CPUJobs: 7500, GPUJobs: 2500, Nodes: 80} }
 func FullScale() Scale  { return Scale{Name: "full", Days: 30, CPUJobs: 75000, GPUJobs: 25000, Nodes: 80} }
+
+// WarehouseScale is the streaming-intake stress shape: a 5,000-node
+// warehouse serving a million jobs in a simulated week. Only viable since
+// specs stream their traces — materializing a warehouse trace up front is
+// exactly the O(jobs) intake memory the streaming refactor removed. The
+// full 25M-job month (Days: 30, CPUJobs: 18_750_000, GPUJobs: 6_250_000)
+// uses the same preset shape; see DESIGN.md "Scale architecture".
+func WarehouseScale() Scale {
+	return Scale{Name: "warehouse", Days: 7, CPUJobs: 750_000, GPUJobs: 250_000, Nodes: 5000}
+}
 
 // ParseScale resolves a preset name.
 func ParseScale(name string) (Scale, error) {
@@ -56,8 +69,10 @@ func ParseScale(name string) (Scale, error) {
 		return SmallScale(), nil
 	case "full":
 		return FullScale(), nil
+	case "warehouse":
+		return WarehouseScale(), nil
 	}
-	return Scale{}, fmt.Errorf("soak: unknown scale %q (want tiny, small or full)", name)
+	return Scale{}, fmt.Errorf("soak: unknown scale %q (want tiny, small, full or warehouse)", name)
 }
 
 // Validate rejects degenerate scales before any trace generation happens.

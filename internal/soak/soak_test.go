@@ -48,7 +48,9 @@ func TestLookup(t *testing.T) {
 func TestRecipesBuildAtEveryScale(t *testing.T) {
 	// Every recipe must build at every preset scale: fixed fault schedules
 	// are scale-relative and must survive chaos.Plan.Validate at each size.
-	for _, sc := range []Scale{TinyScale(), SmallScale(), FullScale()} {
+	// Specs stream their traces, so building even the warehouse cell is
+	// cheap — nothing is materialized until the run.
+	for _, sc := range []Scale{TinyScale(), SmallScale(), FullScale(), WarehouseScale()} {
 		for _, r := range Recipes() {
 			sp, err := r.Build(7, sc)
 			if err != nil {
@@ -58,8 +60,12 @@ func TestRecipesBuildAtEveryScale(t *testing.T) {
 			if err := sp.Validate(); err != nil {
 				t.Errorf("%s at %s: built spec invalid: %v", r.Name, sc.Name, err)
 			}
-			if len(sp.Jobs) != sc.CPUJobs+sc.GPUJobs {
-				t.Errorf("%s at %s: %d jobs, want %d", r.Name, sc.Name, len(sp.Jobs), sc.CPUJobs+sc.GPUJobs)
+			if sp.Trace == nil {
+				t.Errorf("%s at %s: spec materializes its trace instead of streaming", r.Name, sc.Name)
+				continue
+			}
+			if sp.JobCount() != sc.CPUJobs+sc.GPUJobs {
+				t.Errorf("%s at %s: %d jobs, want %d", r.Name, sc.Name, sp.JobCount(), sc.CPUJobs+sc.GPUJobs)
 			}
 		}
 	}

@@ -63,37 +63,60 @@ func reverseCategories() map[string]job.Category {
 	return m
 }
 
+// An Encoder writes jobs to a JSON-lines trace one at a time, so a
+// Source can be spooled to disk without ever materializing the slice.
+type Encoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w. Call Flush when done.
+func NewEncoder(w io.Writer) *Encoder {
+	bw := bufio.NewWriter(w)
+	return &Encoder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Encode appends one job to the trace.
+func (e *Encoder) Encode(j *job.Job) error {
+	kind, ok := kindNames[j.Kind]
+	if !ok {
+		return fmt.Errorf("trace: job %d has unknown kind %v", j.ID, j.Kind)
+	}
+	rec := record{
+		ID:                json.Number(fmt.Sprintf("%d", j.ID)),
+		Kind:              kind,
+		Tenant:            int(j.Tenant),
+		Category:          categoryNames[j.Category],
+		Model:             j.Model,
+		BatchSize:         j.BatchSize,
+		HasPipeline:       j.Hints.HasPipeline,
+		LargeWeights:      j.Hints.LargeWeights,
+		ComplexPreprocess: j.Hints.ComplexPreprocess,
+		CPUCores:          j.Request.CPUCores,
+		GPUs:              j.Request.GPUs,
+		Nodes:             j.Request.Nodes,
+		ArrivalMillis:     j.Arrival.Milliseconds(),
+		WorkMillis:        j.Work.Milliseconds(),
+		BandwidthGBs:      j.Bandwidth,
+	}
+	if err := e.enc.Encode(rec); err != nil {
+		return fmt.Errorf("trace: encode job %d: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (e *Encoder) Flush() error { return e.bw.Flush() }
+
 // Write serializes jobs as JSON lines.
 func Write(w io.Writer, jobs []*job.Job) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	enc := NewEncoder(w)
 	for _, j := range jobs {
-		kind, ok := kindNames[j.Kind]
-		if !ok {
-			return fmt.Errorf("trace: job %d has unknown kind %v", j.ID, j.Kind)
-		}
-		rec := record{
-			ID:                json.Number(fmt.Sprintf("%d", j.ID)),
-			Kind:              kind,
-			Tenant:            int(j.Tenant),
-			Category:          categoryNames[j.Category],
-			Model:             j.Model,
-			BatchSize:         j.BatchSize,
-			HasPipeline:       j.Hints.HasPipeline,
-			LargeWeights:      j.Hints.LargeWeights,
-			ComplexPreprocess: j.Hints.ComplexPreprocess,
-			CPUCores:          j.Request.CPUCores,
-			GPUs:              j.Request.GPUs,
-			Nodes:             j.Request.Nodes,
-			ArrivalMillis:     j.Arrival.Milliseconds(),
-			WorkMillis:        j.Work.Milliseconds(),
-			BandwidthGBs:      j.Bandwidth,
-		}
-		if err := enc.Encode(rec); err != nil {
-			return fmt.Errorf("trace: encode job %d: %w", j.ID, err)
+		if err := enc.Encode(j); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return enc.Flush()
 }
 
 // Read parses a JSON-lines trace and validates every job.

@@ -13,12 +13,9 @@ package trace
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"sort"
 	"time"
 
 	"github.com/coda-repro/coda/internal/job"
-	"github.com/coda-repro/coda/internal/perfmodel"
 )
 
 // Tenant roles (Fig. 2a: the research lab submits most GPU jobs, the AI
@@ -180,52 +177,13 @@ func tenantCPUWeights() []float64 {
 	return w
 }
 
-// pick samples an index from weights.
-func pick(rng *rand.Rand, weights []float64) int {
-	total := 0.0
-	for _, w := range weights {
-		total += w
-	}
-	r := rng.Float64() * total
-	for i, w := range weights {
-		r -= w
-		if r <= 0 {
-			return i
-		}
-	}
-	return len(weights) - 1
-}
-
-// diurnalArrival samples an arrival time whose daily profile follows
-// 1 + amplitude*sin(2π(t/day - 1/4)) — peaking at midday — scaled by
-// weekendFactor on days 6-7 of each week, via rejection sampling
-// (Fig. 1's CPU activity pattern).
-func diurnalArrival(rng *rand.Rand, duration time.Duration, amplitude, weekendFactor float64) time.Duration {
-	//coda:ordered-ok fast-path gate on a config constant, not a computed float
-	if amplitude == 0 && weekendFactor >= 1 {
-		return time.Duration(rng.Int63n(int64(duration)))
-	}
-	day := float64(24 * time.Hour)
-	for {
-		t := rng.Float64() * float64(duration)
-		phase := t/day - 0.25
-		density := (1 + amplitude*math.Sin(2*math.Pi*phase)) / (1 + amplitude)
-		if dayOfWeek := int(t/day) % 7; dayOfWeek >= 5 {
-			density *= weekendFactor
-		}
-		if rng.Float64() <= density {
-			return time.Duration(t)
-		}
-	}
-}
-
 // gpuRuntime samples a training-job runtime matching §VI-F: 31.5% under an
 // hour, 28.9% in one to two hours, 39.6% above two hours.
-func gpuRuntime(rng *rand.Rand) time.Duration {
-	u := rng.Float64()
+func gpuRuntime(st *stream) time.Duration {
+	u := st.f64()
 	logUniform := func(lo, hi time.Duration) time.Duration {
 		l, h := math.Log(float64(lo)), math.Log(float64(hi))
-		return time.Duration(math.Exp(l + rng.Float64()*(h-l)))
+		return time.Duration(math.Exp(l + st.f64()*(h-l)))
 	}
 	switch {
 	case u < 0.315:
@@ -241,25 +199,25 @@ func gpuRuntime(rng *rand.Rand) time.Duration {
 // services and auxiliary processing whose load saturates the cluster's CPUs
 // at the daily peak (Fig. 1 shows the CPU active rate reaching 100%), so
 // they run minutes to hours, not seconds.
-func cpuRuntime(rng *rand.Rand) time.Duration {
+func cpuRuntime(st *stream) time.Duration {
 	l, h := math.Log(float64(10*time.Minute)), math.Log(float64(4*time.Hour))
-	return time.Duration(math.Exp(l + rng.Float64()*(h-l)))
+	return time.Duration(math.Exp(l + st.f64()*(h-l)))
 }
 
 // requestedCores samples the owner's per-node core request for a training
 // job with the given per-node GPU count, following Fig. 2d's three bands.
 // Requests are clamped to the node size so every job is placeable.
-func requestedCores(rng *rand.Rand, cfg Config, gpusPerNode int) int {
-	u := rng.Float64()
+func requestedCores(st *stream, cfg Config, gpusPerNode int) int {
+	u := st.f64()
 	var cores int
 	switch {
 	case u < cfg.UnderRequestFraction:
-		cores = 1 + rng.Intn(2) // 1-2 cores
+		cores = 1 + st.intBelow(2) // 1-2 cores
 	case u < cfg.UnderRequestFraction+cfg.MidRequestFraction:
-		cores = 3 + rng.Intn(8) // 3-10 cores
+		cores = 3 + st.intBelow(8) // 3-10 cores
 	default:
 		// Over-requesters scale their excess with the job size.
-		cores = 11 + rng.Intn(8) + 2*gpusPerNode
+		cores = 11 + st.intBelow(8) + 2*gpusPerNode
 	}
 	if cores > cfg.MaxRequestCores {
 		cores = cfg.MaxRequestCores
@@ -267,98 +225,25 @@ func requestedCores(rng *rand.Rand, cfg Config, gpusPerNode int) int {
 	return cores
 }
 
-// Generate builds a deterministic synthetic trace. Jobs are returned sorted
-// by arrival time with IDs assigned in arrival order.
+// Generate builds a deterministic synthetic trace by draining a streaming
+// Source. Jobs are returned sorted by arrival time with IDs assigned in
+// arrival order — byte-identical to iterating NewSource(cfg) manually.
 func Generate(cfg Config) ([]*job.Job, error) {
-	if err := cfg.Validate(); err != nil {
+	src, err := NewSource(cfg)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	jobs := make([]*job.Job, 0, cfg.CPUJobs+cfg.GPUJobs)
-
-	gpuWeights := tenantGPUWeights()
-	cpuWeights := tenantCPUWeights()
-
-	modelWeights := make([]float64, len(modelMix))
-	for i, m := range modelMix {
-		modelWeights[i] = m.weight
-	}
-	configWeights := make([]float64, len(configMix))
-	for i, c := range configMix {
-		configWeights[i] = c.weight
-	}
-
-	for i := 0; i < cfg.GPUJobs; i++ {
-		mi := pick(rng, modelWeights)
-		model, err := perfmodel.Lookup(modelMix[mi].name)
+	jobs := make([]*job.Job, 0, src.Total())
+	for {
+		j, err := src.Next()
 		if err != nil {
-			return nil, fmt.Errorf("trace: %w", err)
+			return nil, err
 		}
-		ci := pick(rng, configWeights)
-		nodes, gpus := configMix[ci].nodes, configMix[ci].gpus
-
-		batch := model.DefaultBatch
-		if rng.Float64() < cfg.MaxBatchFraction {
-			batch = model.MaxBatch
-		}
-		category := model.Category
-		var hints job.Hints
-		if rng.Float64() < cfg.NoCategoryFraction {
-			category = job.CategoryNone
-		} else if rng.Float64() < cfg.HintsFraction {
-			hints = job.Hints{
-				HasPipeline:       rng.Float64() < 0.5,
-				LargeWeights:      model.Name == "vgg16" || model.Name == "transformer",
-				ComplexPreprocess: model.Category == job.CategoryNLP,
-			}
-		}
-
-		j := &job.Job{
-			Kind:      job.KindGPUTraining,
-			Tenant:    job.TenantID(pick(rng, gpuWeights) + 1),
-			Category:  category,
-			Model:     model.Name,
-			BatchSize: batch,
-			Hints:     hints,
-			Request: job.Request{
-				CPUCores: requestedCores(rng, cfg, gpus/nodes),
-				GPUs:     gpus,
-				Nodes:    nodes,
-			},
-			Arrival: diurnalArrival(rng, cfg.Duration, cfg.GPUDiurnalAmplitude, cfg.WeekendFactor),
-			Work:    gpuRuntime(rng),
+		if j == nil {
+			return jobs, nil
 		}
 		jobs = append(jobs, j)
 	}
-
-	for i := 0; i < cfg.CPUJobs; i++ {
-		j := &job.Job{
-			Kind:    job.KindCPU,
-			Tenant:  job.TenantID(pick(rng, cpuWeights) + 1),
-			Request: job.Request{CPUCores: 2 + rng.Intn(5), Nodes: 1},
-			Arrival: diurnalArrival(rng, cfg.Duration, cfg.DiurnalAmplitude, cfg.WeekendFactor),
-			Work:    cpuRuntime(rng),
-		}
-		j.Bandwidth = 0.3 * float64(j.Request.CPUCores)
-		if rng.Float64() < cfg.HogFraction {
-			j.Kind = job.KindBandwidthHog
-			j.Request.CPUCores = 8 + rng.Intn(9) // 8-16 threads of HEAT
-			// A STREAM-like kernel saturates a DDR4 channel per thread:
-			// one hog can push a node past the 75% contention knee alone.
-			j.Bandwidth = 8 * float64(j.Request.CPUCores)
-			j.Work = cpuRuntime(rng) * 2
-		}
-		jobs = append(jobs, j)
-	}
-
-	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
-	for i, j := range jobs {
-		j.ID = job.ID(i + 1)
-		if err := j.Validate(); err != nil {
-			return nil, fmt.Errorf("trace: generated invalid job: %w", err)
-		}
-	}
-	return jobs, nil
 }
 
 // Stats summarizes a trace the way Fig. 2 does.
@@ -379,72 +264,19 @@ type Stats struct {
 
 // Summarize computes trace statistics.
 func Summarize(jobs []*job.Job) Stats {
-	var s Stats
-	s.Jobs = len(jobs)
-	multiNode, overHour, overTwo := 0, 0, 0
-	req12, req310, reqOver := 0, 0, 0
+	var a StatsAccum
 	for _, j := range jobs {
-		switch j.Kind {
-		case job.KindGPUTraining:
-			s.GPUJobs++
-			if int(j.Tenant) <= NumTenants {
-				s.GPUJobsPerTenant[j.Tenant]++
-			}
-			switch c := j.Request.CPUCores; {
-			case c <= 2:
-				req12++
-			case c <= 10:
-				req310++
-			default:
-				reqOver++
-			}
-			if j.Request.Nodes > 1 {
-				multiNode++
-			}
-			if j.Work > time.Hour {
-				overHour++
-			}
-			if j.Work > 2*time.Hour {
-				overTwo++
-			}
-		default:
-			s.CPUJobs++
-			if j.Kind == job.KindBandwidthHog {
-				s.HogJobs++
-			}
-			if int(j.Tenant) <= NumTenants {
-				s.CPUJobsPerTenant[j.Tenant]++
-			}
-		}
+		a.Observe(j)
 	}
-	if s.GPUJobs > 0 {
-		n := float64(s.GPUJobs)
-		s.ReqCores12 = float64(req12) / n
-		s.ReqCores310 = float64(req310) / n
-		s.ReqCoresOver10 = float64(reqOver) / n
-		s.MultiNodeFraction = float64(multiNode) / n
-		s.GPUJobsOverHour = float64(overHour) / n
-		s.GPUJobsOverTwoHours = float64(overTwo) / n
-	}
-	return s
+	return a.Stats()
 }
 
 // HourlyArrivals bins job arrivals into hours for Fig. 1-style plots.
 // Only jobs matching filter are counted (nil counts all).
 func HourlyArrivals(jobs []*job.Job, duration time.Duration, filter func(*job.Job) bool) []int {
-	hours := int(duration / time.Hour)
-	if duration%time.Hour != 0 {
-		hours++
-	}
-	bins := make([]int, hours)
+	b := NewHourlyBins(duration)
 	for _, j := range jobs {
-		if filter != nil && !filter(j) {
-			continue
-		}
-		h := int(j.Arrival / time.Hour)
-		if h >= 0 && h < hours {
-			bins[h]++
-		}
+		b.Observe(j, filter)
 	}
-	return bins
+	return b.Bins()
 }
