@@ -117,8 +117,10 @@ func writeBenchJSON(path string, entries []benchEntry) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// compareBenchBaseline fails when any variant's events/sec fell more than
-// tolerance below the committed baseline — the CI regression gate.
+// compareBenchBaseline fails when any variant's events/sec or placement
+// queries/sec fell more than tolerance below the committed baseline — the
+// CI regression gate. Gating query throughput separately catches a
+// placement-path regression even when event processing elsewhere masks it.
 func compareBenchBaseline(path string, entries []benchEntry, tolerance float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -145,9 +147,19 @@ func compareBenchBaseline(path string, entries []benchEntry, tolerance float64) 
 			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f events/sec (%.0f%% drop)",
 				e.Name, b.EventsPerSec, e.EventsPerSec, (1-ratio)*100))
 		}
+		if b.QueriesPerSec <= 0 {
+			continue
+		}
+		qratio := e.QueriesPerSec / b.QueriesPerSec
+		fmt.Printf("  %-16s %8.0f queries/sec vs baseline %8.0f (%.2fx)\n",
+			e.Name, e.QueriesPerSec, b.QueriesPerSec, qratio)
+		if qratio < 1-tolerance {
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f queries/sec (%.0f%% drop)",
+				e.Name, b.QueriesPerSec, e.QueriesPerSec, (1-qratio)*100))
+		}
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("events/sec regression beyond %.0f%%: %v", tolerance*100, regressed)
+		return fmt.Errorf("throughput regression beyond %.0f%%: %v", tolerance*100, regressed)
 	}
 	return nil
 }

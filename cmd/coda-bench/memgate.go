@@ -15,16 +15,18 @@ import (
 // memgate section emits one per job-count multiplier; the scalecurve
 // section emits one per preset (BENCH_scale_curve.json).
 type memGateEntry struct {
-	Name          string  `json:"name"`
-	Scale         string  `json:"scale"`
-	Jobs          int     `json:"jobs"`
-	Nodes         int     `json:"nodes"`
-	Days          float64 `json:"days"`
-	Events        int64   `json:"events"`
-	WallNs        int64   `json:"wall_ns"`
-	EventsPerSec  float64 `json:"events_per_sec"`
-	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
-	LiveHeapBytes uint64  `json:"live_heap_bytes"`
+	Name             string  `json:"name"`
+	Scale            string  `json:"scale"`
+	Jobs             int     `json:"jobs"`
+	Nodes            int     `json:"nodes"`
+	Days             float64 `json:"days"`
+	Events           int64   `json:"events"`
+	PlacementQueries int64   `json:"placement_queries"`
+	WallNs           int64   `json:"wall_ns"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	QueriesPerSec    float64 `json:"placement_queries_per_sec"`
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	LiveHeapBytes    uint64  `json:"live_heap_bytes"`
 	// BytesPerJob is this point's peak heap growth over the process baseline
 	// divided by its job count — an upper bound on intake cost per job.
 	BytesPerJob float64 `json:"bytes_per_job"`
@@ -124,19 +126,21 @@ func printMemGate(sc experiments.Scale, scaleName, jsonPath string, maxBytesPerJ
 			return err
 		}
 		e := memGateEntry{
-			Name:          spec.Name,
-			Scale:         scaleName,
-			Jobs:          pt.CPUJobs + pt.GPUJobs,
-			Nodes:         pt.Nodes,
-			Days:          pt.Days,
-			Events:        res.Events,
-			WallNs:        wall.Nanoseconds(),
-			PeakHeapBytes: peak,
-			LiveHeapBytes: live,
-			BytesPerJob:   float64(peak) / float64(pt.CPUJobs+pt.GPUJobs),
+			Name:             spec.Name,
+			Scale:            scaleName,
+			Jobs:             pt.CPUJobs + pt.GPUJobs,
+			Nodes:            pt.Nodes,
+			Days:             pt.Days,
+			Events:           res.Events,
+			PlacementQueries: res.PlacementQueries,
+			WallNs:           wall.Nanoseconds(),
+			PeakHeapBytes:    peak,
+			LiveHeapBytes:    live,
+			BytesPerJob:      float64(peak) / float64(pt.CPUJobs+pt.GPUJobs),
 		}
 		if secs := wall.Seconds(); secs > 0 {
 			e.EventsPerSec = float64(e.Events) / secs
+			e.QueriesPerSec = float64(e.PlacementQueries) / secs
 		}
 		entries = append(entries, e)
 		fmt.Printf("  %-18s %8d jobs  peak heap %7.1f MiB  live %6.1f MiB  %6.1f B/job  (%v)\n",
@@ -195,23 +199,25 @@ func printScaleCurveBench(seed int64, jsonPath string) error {
 			return err
 		}
 		e := memGateEntry{
-			Name:          spec.Name,
-			Scale:         p.name,
-			Jobs:          sc.CPUJobs + sc.GPUJobs,
-			Nodes:         sc.Nodes,
-			Days:          sc.Days,
-			Events:        res.Events,
-			WallNs:        wall.Nanoseconds(),
-			PeakHeapBytes: peak,
-			LiveHeapBytes: live,
-			BytesPerJob:   float64(peak) / float64(sc.CPUJobs+sc.GPUJobs),
+			Name:             spec.Name,
+			Scale:            p.name,
+			Jobs:             sc.CPUJobs + sc.GPUJobs,
+			Nodes:            sc.Nodes,
+			Days:             sc.Days,
+			Events:           res.Events,
+			PlacementQueries: res.PlacementQueries,
+			WallNs:           wall.Nanoseconds(),
+			PeakHeapBytes:    peak,
+			LiveHeapBytes:    live,
+			BytesPerJob:      float64(peak) / float64(sc.CPUJobs+sc.GPUJobs),
 		}
 		if secs := wall.Seconds(); secs > 0 {
 			e.EventsPerSec = float64(e.Events) / secs
+			e.QueriesPerSec = float64(e.PlacementQueries) / secs
 		}
 		entries = append(entries, e)
-		fmt.Printf("  %-16s %8d jobs  %5d nodes  %9d events  %8.0f events/sec  peak heap %7.1f MiB  (%v)\n",
-			e.Name, e.Jobs, e.Nodes, e.Events, e.EventsPerSec,
+		fmt.Printf("  %-16s %8d jobs  %5d nodes  %9d events  %8.0f events/sec  %8.0f queries/sec  peak heap %7.1f MiB  (%v)\n",
+			e.Name, e.Jobs, e.Nodes, e.Events, e.EventsPerSec, e.QueriesPerSec,
 			float64(e.PeakHeapBytes)/(1<<20), wall.Truncate(time.Millisecond))
 	}
 	if jsonPath != "" {

@@ -83,6 +83,7 @@ func run(args []string) error {
 	compactCDFs := fs.Bool("compact-cdfs", false, "bound queue-time CDFs with a log-bucketed sketch instead of exact samples")
 	runs := fs.Int("runs", 1, "replay the trace under this many consecutive seeds and print per-run plus merged metrics")
 	parallel := fs.Int("parallel", 0, "worker-pool width for -runs > 1 (0 = GOMAXPROCS)")
+	dumpPath := fs.String("dump", "", "write the run's bit-exact result dump (sim.DumpResult) to this file; two engines agree iff the dumps are byte-identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +128,8 @@ func run(args []string) error {
 			return fmt.Errorf("-runs > 1 conflicts with -survived-kills")
 		case *series:
 			return fmt.Errorf("-series prints one run's time series; it requires -runs=1")
+		case *dumpPath != "":
+			return fmt.Errorf("-dump writes one run's result; it requires -runs=1")
 		}
 	}
 
@@ -312,6 +315,11 @@ func run(args []string) error {
 	printSummary(res, jobCount, elapsed)
 	if *series {
 		printSeries(res)
+	}
+	if *dumpPath != "" {
+		if err := os.WriteFile(*dumpPath, []byte(sim.DumpResult(res)), 0o644); err != nil {
+			return err
+		}
 	}
 	if *historyOut != "" {
 		if coda == nil {

@@ -605,7 +605,7 @@ func (c *Cluster) CheckNodeInvariants(nid int) error {
 		return fmt.Errorf("node %d: missing from capacity-index cell (%d free gpus, %d free cores)",
 			n.ID, n.FreeGPUs(), n.FreeCores())
 	}
-	return nil
+	return c.index.auditNode(n.FreeGPUs(), n.FreeCores(), n.ID)
 }
 
 // CheckInvariants verifies internal accounting consistency; it returns an
@@ -621,6 +621,12 @@ func (c *Cluster) CheckInvariants() error {
 	// a matching total rules out stale leftover entries anywhere else.
 	if got := c.index.size(); got != len(c.nodes) {
 		return fmt.Errorf("capacity index holds %d entries for %d nodes", got, len(c.nodes))
+	}
+	// Structural audit of the hierarchical layers: Fenwick counts and
+	// occupancy bits against the cells, segment trees internally (leaf
+	// values were just proven per node above).
+	if err := c.index.audit(); err != nil {
+		return err
 	}
 	//coda:ordered-ok error reporting on already-broken invariants; any witness will do
 	for id, nodeIDs := range c.placements {

@@ -1,6 +1,9 @@
 package cluster
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // capacityIndex buckets node IDs by their effective free capacity so
 // placement queries can iterate candidates in packing order without
@@ -12,12 +15,34 @@ import "sort"
 // reproduces exactly the order the previous implementation obtained by
 // stable-sorting an ID-ordered candidate slice on (FreeGPUs, FreeCores):
 // best-fit and worst-fit scans stay bit-identical to the pre-index engine.
+//
+// On top of the cells sit the hierarchical structures of hier.go, all
+// maintained by the same insert/remove pair:
+//
+//   - tiers[g] is a segment tree over node IDs whose leaf for a node holds
+//     its free cores when the node has at least g free GPUs, else -1.
+//     First-fit descends tiers[gpus] leftmost-first, yielding exactly the
+//     ID-ordered nodes the old linear Fits scan yielded — O(log n) per hit.
+//   - counts is a 2-D Fenwick tree over the capacity grid answering
+//     CountPlaceable in O(log G · log C).
+//   - occ marks non-empty cells per GPU row so the best-fit and worst-fit
+//     cell walks skip empty cells.
+//   - shapeCount is the static dominance count over total node shapes
+//     (Cores, GPUs) — capacity-independent, so it is computed once and
+//     never mutated; ReserveNodes' shape pre-check reads it instead of
+//     sweeping every node.
 type capacityIndex struct {
 	maxCores int
 	maxGPUs  int
 	// cells[g*(maxCores+1)+c] holds the IDs of nodes with FreeGPUs() == g
 	// and FreeCores() == c, ascending.
-	cells [][]int
+	cells  [][]int
+	tiers  []*segTree
+	counts *fenwick2D
+	occ    *rowBits
+	// shapeCount[g*(maxCores+1)+c] counts nodes with GPUs >= g and
+	// Cores >= c (total shape, independent of occupancy and node state).
+	shapeCount []int
 }
 
 func newCapacityIndex(nodes []*Node) *capacityIndex {
@@ -30,7 +55,34 @@ func newCapacityIndex(nodes []*Node) *capacityIndex {
 			ix.maxGPUs = n.GPUs
 		}
 	}
-	ix.cells = make([][]int, (ix.maxGPUs+1)*(ix.maxCores+1))
+	rows, cols := ix.maxGPUs+1, ix.maxCores+1
+	ix.cells = make([][]int, rows*cols)
+	ix.tiers = make([]*segTree, rows)
+	for g := range ix.tiers {
+		ix.tiers[g] = newSegTree(len(nodes))
+	}
+	ix.counts = newFenwick2D(rows, cols)
+	ix.occ = newRowBits(rows, cols)
+	ix.shapeCount = make([]int, rows*cols)
+	for _, n := range nodes {
+		ix.shapeCount[n.GPUs*cols+n.Cores]++
+	}
+	// Suffix-sum the shape histogram into dominance counts.
+	for g := rows - 1; g >= 0; g-- {
+		for c := cols - 1; c >= 0; c-- {
+			v := ix.shapeCount[g*cols+c]
+			if g+1 < rows {
+				v += ix.shapeCount[(g+1)*cols+c]
+			}
+			if c+1 < cols {
+				v += ix.shapeCount[g*cols+c+1]
+			}
+			if g+1 < rows && c+1 < cols {
+				v -= ix.shapeCount[(g+1)*cols+c+1]
+			}
+			ix.shapeCount[g*cols+c] = v
+		}
+	}
 	for _, n := range nodes {
 		ix.insert(n.FreeGPUs(), n.FreeCores(), n.ID)
 	}
@@ -41,19 +93,42 @@ func (ix *capacityIndex) cellIdx(gpus, cores int) int {
 	return gpus*(ix.maxCores+1) + cores
 }
 
+// insert places node id into capacity cell (gpus, cores) and rewrites its
+// tier leaves to match — insert always carries the node's current free
+// capacity, so the remove that precedes it in a cell move never has to
+// touch the trees.
 func (ix *capacityIndex) insert(gpus, cores, id int) {
 	cell := &ix.cells[ix.cellIdx(gpus, cores)]
 	i := sort.SearchInts(*cell, id)
 	*cell = append(*cell, 0)
 	copy((*cell)[i+1:], (*cell)[i:])
 	(*cell)[i] = id
+	ix.counts.add(gpus, cores, 1)
+	ix.occ.set(gpus, cores)
+	for g := 0; g <= ix.maxGPUs; g++ {
+		v := -1
+		if gpus >= g {
+			v = cores
+		}
+		ix.tiers[g].set(id, v)
+	}
 }
 
+// remove takes node id out of capacity cell (gpus, cores). A missing entry
+// can only mean the index and the node state disagree — corruption that
+// would otherwise surface as a wrong placement far downstream — so it
+// panics loudly instead of silently no-opping.
 func (ix *capacityIndex) remove(gpus, cores, id int) {
 	cell := &ix.cells[ix.cellIdx(gpus, cores)]
 	i := sort.SearchInts(*cell, id)
-	if i < len(*cell) && (*cell)[i] == id {
-		*cell = append((*cell)[:i], (*cell)[i+1:]...)
+	if i >= len(*cell) || (*cell)[i] != id {
+		panic(fmt.Sprintf("cluster: capacity index corrupt: node %d not in cell (%d free gpus, %d free cores)",
+			id, gpus, cores))
+	}
+	*cell = append((*cell)[:i], (*cell)[i+1:]...)
+	ix.counts.add(gpus, cores, -1)
+	if len(*cell) == 0 {
+		ix.occ.clear(gpus, cores)
 	}
 }
 
@@ -64,6 +139,70 @@ func (ix *capacityIndex) contains(gpus, cores, id int) bool {
 	cell := ix.cells[ix.cellIdx(gpus, cores)]
 	i := sort.SearchInts(cell, id)
 	return i < len(cell) && cell[i] == id
+}
+
+// auditNode verifies node id's hierarchical entries against its free
+// capacity: every tier leaf and the occupancy bit of its cell. O(G log n),
+// the per-touched-node complement of contains for the delta auditor.
+func (ix *capacityIndex) auditNode(gpus, cores, id int) error {
+	for g := 0; g <= ix.maxGPUs; g++ {
+		want := -1
+		if gpus >= g {
+			want = cores
+		}
+		if got := ix.tiers[g].leaf(id); got != want {
+			return fmt.Errorf("node %d: tier-%d segtree leaf holds %d, want %d", id, g, got, want)
+		}
+	}
+	if !ix.occ.has(gpus, cores) {
+		return fmt.Errorf("node %d: occupancy bitmap misses its cell (%d free gpus, %d free cores)",
+			id, gpus, cores)
+	}
+	return nil
+}
+
+// audit verifies the hierarchical structures against the cells: Fenwick
+// dominance counts match cell suffix sums everywhere, occupancy bits match
+// cell emptiness, and every segment tree is internally consistent. The
+// full-audit complement of auditNode; leaf values are covered by the
+// per-node checks the full audit also runs.
+func (ix *capacityIndex) audit() error {
+	cols := ix.maxCores + 1
+	// suffix[g][c] = total entries in cells with at least g GPUs, c cores.
+	suffix := make([]int, (ix.maxGPUs+1)*cols)
+	for g := ix.maxGPUs; g >= 0; g-- {
+		for c := ix.maxCores; c >= 0; c-- {
+			v := len(ix.cells[ix.cellIdx(g, c)])
+			if g+1 <= ix.maxGPUs {
+				v += suffix[(g+1)*cols+c]
+			}
+			if c+1 <= ix.maxCores {
+				v += suffix[g*cols+c+1]
+			}
+			if g+1 <= ix.maxGPUs && c+1 <= ix.maxCores {
+				v -= suffix[(g+1)*cols+c+1]
+			}
+			suffix[g*cols+c] = v
+		}
+	}
+	for g := 0; g <= ix.maxGPUs; g++ {
+		for c := 0; c <= ix.maxCores; c++ {
+			if got, want := ix.counts.dominating(g, c), suffix[g*cols+c]; got != want {
+				return fmt.Errorf("fenwick dominance count at (%d gpus, %d cores) is %d, cells sum to %d",
+					g, c, got, want)
+			}
+			if got, want := ix.occ.has(g, c), len(ix.cells[ix.cellIdx(g, c)]) > 0; got != want {
+				return fmt.Errorf("occupancy bit at (%d gpus, %d cores) is %v, cell has %d entries",
+					g, c, got, len(ix.cells[ix.cellIdx(g, c)]))
+			}
+		}
+	}
+	for g, t := range ix.tiers {
+		if err := t.audit(); err != nil {
+			return fmt.Errorf("tier %d: %w", g, err)
+		}
+	}
+	return nil
 }
 
 // size returns the total number of indexed entries (must equal the node
@@ -89,7 +228,8 @@ func (c *Cluster) reindexFrom(n *Node, oldGPUs, oldCores int) {
 }
 
 // CountPlaceable returns how many nodes currently fit cores and gpus —
-// the index-backed equivalent of counting Fits over all nodes.
+// the Fenwick-backed equivalent of counting Fits over all nodes,
+// O(log G · log C).
 func (c *Cluster) CountPlaceable(cores, gpus int) int {
 	if cores < 0 {
 		cores = 0
@@ -101,30 +241,36 @@ func (c *Cluster) CountPlaceable(cores, gpus int) int {
 	if cores > ix.maxCores || gpus > ix.maxGPUs {
 		return 0
 	}
-	count := 0
-	for g := gpus; g <= ix.maxGPUs; g++ {
-		for cc := cores; cc <= ix.maxCores; cc++ {
-			count += len(ix.cells[ix.cellIdx(g, cc)])
-		}
+	return ix.counts.dominating(gpus, cores)
+}
+
+// CountShaped returns how many nodes could ever host cores and gpus by
+// total shape (Cores, GPUs), regardless of occupancy or state — the
+// reservation pre-check. O(1): node shapes never change, so the dominance
+// table is computed once at construction.
+func (c *Cluster) CountShaped(cores, gpus int) int {
+	if cores < 0 {
+		cores = 0
 	}
-	return count
+	if gpus < 0 {
+		gpus = 0
+	}
+	ix := c.index
+	if cores > ix.maxCores || gpus > ix.maxGPUs {
+		return 0
+	}
+	return ix.shapeCount[gpus*(ix.maxCores+1)+cores]
 }
 
 // ScanPlaceable calls fn for each node that fits cores and gpus until fn
 // returns false. With bestFit the nodes come in packing order — fewest
 // free GPUs first, then fewest free cores, then lowest ID — exactly the
 // order placement previously obtained by stable-sorting candidates;
-// otherwise nodes come in ID order (first-fit). fn must not mutate the
-// cluster: allocations move nodes between index cells mid-scan.
+// otherwise nodes come in ID order (first-fit), yielded by a leftmost
+// descent of the GPU tier's segment tree that never touches nodes that
+// don't fit. fn must not mutate the cluster: allocations move nodes
+// between index cells mid-scan.
 func (c *Cluster) ScanPlaceable(cores, gpus int, bestFit bool, fn func(*Node) bool) {
-	if !bestFit {
-		for _, n := range c.nodes {
-			if n.Fits(cores, gpus) && !fn(n) {
-				return
-			}
-		}
-		return
-	}
 	if cores < 0 {
 		cores = 0
 	}
@@ -135,8 +281,17 @@ func (c *Cluster) ScanPlaceable(cores, gpus int, bestFit bool, fn func(*Node) bo
 	if cores > ix.maxCores || gpus > ix.maxGPUs {
 		return
 	}
+	if !bestFit {
+		t := ix.tiers[gpus]
+		for id := t.nextAtLeast(0, cores); id >= 0; id = t.nextAtLeast(id+1, cores) {
+			if !fn(c.nodes[id]) {
+				return
+			}
+		}
+		return
+	}
 	for g := gpus; g <= ix.maxGPUs; g++ {
-		for cc := cores; cc <= ix.maxCores; cc++ {
+		for cc := ix.occ.next(g, cores); cc >= 0; cc = ix.occ.next(g, cc+1) {
 			for _, id := range ix.cells[ix.cellIdx(g, cc)] {
 				if !fn(c.nodes[id]) {
 					return
@@ -149,11 +304,12 @@ func (c *Cluster) ScanPlaceable(cores, gpus int, bestFit bool, fn func(*Node) bo
 // ScanFreeDesc calls fn for every node in worst-fit order — most free
 // GPUs first, then most free cores, then lowest ID — until fn returns
 // false. Nodes that are not up report zero free capacity and come last.
-// fn must not mutate the cluster.
+// Empty cells are skipped via the occupancy bitmaps. fn must not mutate
+// the cluster.
 func (c *Cluster) ScanFreeDesc(fn func(*Node) bool) {
 	ix := c.index
 	for g := ix.maxGPUs; g >= 0; g-- {
-		for cc := ix.maxCores; cc >= 0; cc-- {
+		for cc := ix.occ.prev(g, ix.maxCores); cc >= 0; cc = ix.occ.prev(g, cc-1) {
 			for _, id := range ix.cells[ix.cellIdx(g, cc)] {
 				if !fn(c.nodes[id]) {
 					return

@@ -28,6 +28,23 @@ func indexMismatch(c *Cluster) error {
 					return fmt.Errorf("cell (%d gpus, %d cores): index holds %v, rebuild %v", g, cc, gc, wc)
 				}
 			}
+			// The hierarchical layers must agree with the rebuild too.
+			if gd, wd := got.counts.dominating(g, cc), want.counts.dominating(g, cc); gd != wd {
+				return fmt.Errorf("fenwick count at (%d gpus, %d cores): index says %d, rebuild %d", g, cc, gd, wd)
+			}
+			if gb, wb := got.occ.has(g, cc), want.occ.has(g, cc); gb != wb {
+				return fmt.Errorf("occupancy bit at (%d gpus, %d cores): index says %v, rebuild %v", g, cc, gb, wb)
+			}
+			if gs, ws := got.shapeCount[got.cellIdx(g, cc)], want.shapeCount[want.cellIdx(g, cc)]; gs != ws {
+				return fmt.Errorf("shape count at (%d gpus, %d cores): index says %d, rebuild %d", g, cc, gs, ws)
+			}
+		}
+	}
+	for g := range want.tiers {
+		for id := range c.nodes {
+			if gl, wl := got.tiers[g].leaf(id), want.tiers[g].leaf(id); gl != wl {
+				return fmt.Errorf("tier-%d leaf for node %d: index holds %d, rebuild %d", g, id, gl, wl)
+			}
 		}
 	}
 	return nil

@@ -55,9 +55,16 @@ type fifoState struct {
 	ReserveDepth int
 }
 
-// CheckpointState implements Checkpointer.
+// CheckpointState implements Checkpointer. Jobs serialize in arrival
+// order regardless of the shape-queue layout, so the bytes match the
+// former flat-list representation; seq numbers are reassigned on restore
+// (only their relative order matters).
 func (f *FIFO) CheckpointState() ([]byte, error) {
-	return json.Marshal(fifoState{Jobs: queueJobs(f.queue), Window: f.Window, ReserveDepth: f.ReserveDepth})
+	jobs := make([]job.Job, 0, f.size)
+	for _, e := range f.entriesInOrder() {
+		jobs = append(jobs, *e.j)
+	}
+	return json.Marshal(fifoState{Jobs: jobs, Window: f.Window, ReserveDepth: f.ReserveDepth})
 }
 
 // RestoreCheckpoint implements Checkpointer.
@@ -66,10 +73,13 @@ func (f *FIFO) RestoreCheckpoint(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("fifo: restore: %w", err)
 	}
-	if f.queue.Len() != 0 {
+	if f.size != 0 {
 		return fmt.Errorf("fifo: restore into a non-empty scheduler")
 	}
-	fillQueue(f.queue, st.Jobs)
+	for i := range st.Jobs {
+		j := st.Jobs[i]
+		f.enqueue(&j)
+	}
 	f.Window = st.Window
 	f.ReserveDepth = st.ReserveDepth
 	return nil

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/coda-repro/coda/internal/job"
+)
+
+func req(cores, gpus, nodes int) job.Request {
+	return job.Request{CPUCores: cores, GPUs: gpus * nodes, Nodes: nodes}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b job.Request
+		want bool
+	}{
+		{"equal", req(4, 1, 1), req(4, 1, 1), true},
+		{"strictly bigger", req(8, 2, 2), req(4, 1, 1), true},
+		{"bigger cores only", req(8, 1, 1), req(4, 1, 1), true},
+		{"fewer cores", req(2, 1, 1), req(4, 1, 1), false},
+		{"fewer gpus", req(8, 0, 1), req(4, 1, 1), false},
+		{"fewer nodes", req(8, 2, 1), req(4, 1, 2), false},
+		{"incomparable", req(8, 0, 1), req(2, 1, 1), false},
+	}
+	for _, tc := range cases {
+		if got := dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: dominates(%+v, %+v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestFailedSetCoversDominatingRequests(t *testing.T) {
+	var f failedSet
+	failed := req(4, 1, 1)
+	f.add(failed)
+
+	// Anything needing at least as much of every dimension is doomed too.
+	for _, r := range []job.Request{
+		req(4, 1, 1), // identical
+		req(6, 1, 1), // more cores
+		req(4, 2, 1), // more gpus
+		req(4, 1, 3), // more nodes
+		req(9, 3, 2), // strictly bigger everywhere
+	} {
+		if !f.covered(r) {
+			t.Errorf("request %+v dominates a failed request but was not pruned", r)
+		}
+	}
+
+	// A request smaller or incomparable in any dimension might still fit and
+	// must NOT be pruned.
+	for _, r := range []job.Request{
+		req(2, 1, 1),  // fewer cores
+		req(4, 0, 1),  // fewer gpus
+		req(12, 0, 1), // more cores, fewer gpus: incomparable
+		req(1, 4, 1),  // fewer cores, more gpus: incomparable
+	} {
+		if f.covered(r) {
+			t.Errorf("request %+v does not dominate any failed request but was pruned", r)
+		}
+	}
+}
+
+func TestFailedSetKeepsOnlyMinimalElements(t *testing.T) {
+	var f failedSet
+	f.add(req(8, 2, 2))
+	f.add(req(4, 1, 1)) // smaller in every dimension: first entry is redundant
+	if n := len(f.entries); n != 1 {
+		t.Fatalf("set kept %d entries after adding a dominated-by element, want 1", n)
+	}
+	if f.entries[0] != req(4, 1, 1) {
+		t.Fatalf("set kept %+v, want the minimal request", f.entries[0])
+	}
+
+	// Incomparable failures must both be kept: neither covers the other.
+	f.add(req(1, 3, 1))
+	if n := len(f.entries); n != 2 {
+		t.Fatalf("set kept %d entries for incomparable failures, want 2", n)
+	}
+	if !f.covered(req(4, 3, 1)) || !f.covered(req(5, 1, 1)) {
+		t.Fatal("requests dominating either incomparable entry must be covered")
+	}
+}
+
+func TestFailedSetReset(t *testing.T) {
+	var f failedSet
+	f.add(req(4, 1, 1))
+	if !f.covered(req(4, 1, 1)) {
+		t.Fatal("sanity: failed request not covered before reset")
+	}
+	f.reset()
+	if f.covered(req(9, 9, 9)) {
+		t.Fatal("reset set still covers requests")
+	}
+	if cap(f.entries) == 0 {
+		t.Fatal("reset dropped the backing array instead of keeping capacity")
+	}
+}
+
+// TestFIFODominancePruningSkipsCluster proves the behavioral contract end
+// to end: once a request fails a FIFO pass, a queued request dominating it
+// is skipped without issuing any placement query, while a non-dominated
+// request is still probed (and placed). The set must reset between passes
+// so freed capacity is rediscovered.
+func TestFIFODominancePruningSkipsCluster(t *testing.T) {
+	env := newFakeEnv(smallCluster()) // 2 nodes x 8 cores, 2 GPUs
+	f := NewFIFO()
+	f.ReserveDepth = 0
+	f.Bind(env)
+
+	// Fill both nodes, then queue a 6-core request that cannot place.
+	f.Submit(cpuJob(1, 1, 8))
+	f.Submit(cpuJob(2, 1, 8))
+	f.Submit(cpuJob(3, 1, 6))
+	f.Tick()
+	if got := len(env.started); got != 2 {
+		t.Fatalf("setup: %d jobs started, want 2", got)
+	}
+
+	// The set must reset between passes: after releasing job 1, the next
+	// pass re-probes job 3's previously failed request and places it.
+	env.release(t, 1)
+	f.Tick()
+	if got := len(env.started); got != 3 {
+		t.Fatalf("after release: %d jobs started, want 3 (reset must re-probe)", got)
+	}
+
+	// Node 0 now has 2 free cores, node 1 is full. Queue a failing request
+	// followed by one dominating it: the pass must issue exactly one
+	// placement query — the dominated request never touches the cluster.
+	f.Submit(cpuJob(4, 1, 5)) // fails: max free is 2 cores
+	f.Submit(cpuJob(5, 1, 6)) // dominates job 4's request: pruned
+	before := env.c.PlacementQueries()
+	f.Tick()
+	if got := env.c.PlacementQueries() - before; got != 1 {
+		t.Fatalf("pass issued %d placement queries, want 1 (dominated request must not touch the cluster)", got)
+	}
+
+	// A non-dominated request in the same pass is still probed: Submit
+	// drains immediately, and that drain re-probes job 4 (1 query), prunes
+	// job 5 again (0), then probes job 6 — smaller than the recorded
+	// failure — and places it (1 query).
+	before = env.c.PlacementQueries()
+	f.Submit(cpuJob(6, 1, 2))
+	if got := env.c.PlacementQueries() - before; got != 2 {
+		t.Fatalf("pass issued %d placement queries, want 2 (non-dominated request must be probed)", got)
+	}
+	if got := len(env.started); got != 4 {
+		t.Fatalf("end: %d jobs started, want 4", got)
+	}
+}

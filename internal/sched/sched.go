@@ -223,13 +223,15 @@ func ReserveNodes(c *cluster.Cluster, req job.Request, excluded *ExcludeSet) []i
 		// node that can never host the share is no hold at all.
 		return !excluded.Contains(n.ID) && n.GPUs >= gpus && n.Cores >= req.CPUCores
 	}
-	count := 0
-	c.EachNode(func(n *cluster.Node) bool {
-		if qualifies(n) {
-			count++
+	// The cluster's static shape table answers "how many nodes could ever
+	// host this share" in O(1); only the (small, bounded) exclusion set
+	// needs individual re-checks.
+	count := c.CountShaped(req.CPUCores, gpus)
+	for _, id := range excluded.IDs() {
+		if n, err := c.Node(id); err == nil && n.GPUs >= gpus && n.Cores >= req.CPUCores {
+			count--
 		}
-		return true
-	})
+	}
 	if count < req.Nodes {
 		return nil
 	}
